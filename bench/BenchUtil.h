@@ -1,0 +1,46 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers ------------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conventions for the experiment benchmarks (EXPERIMENTS.md):
+///
+///   - Every benchmark runs the *simulated* workload and reports
+///     simulated cycles, not wall time. reportSimCycles() feeds the
+///     cycle count through google-benchmark's manual-time channel, so
+///     the "Time" column reads in simulated cycles (displayed as
+///     seconds: 1 s == 1 cycle), and also exposes a `sim_cycles`
+///     counter.
+///   - Workloads are seeded and deterministic; repeated runs print
+///     identical numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_BENCH_BENCHUTIL_H
+#define OMM_BENCH_BENCHUTIL_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+namespace omm::bench {
+
+/// Records one simulated-cycle measurement for this iteration.
+inline void reportSimCycles(benchmark::State &State, uint64_t Cycles) {
+  State.SetIterationTime(static_cast<double>(Cycles));
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+}
+
+/// Standard registration: one iteration (the simulator is
+/// deterministic — re-running cannot change the answer), manual time.
+inline benchmark::internal::Benchmark *simBench(
+    benchmark::internal::Benchmark *B) {
+  return B->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+}
+
+} // namespace omm::bench
+
+#endif // OMM_BENCH_BENCHUTIL_H

@@ -1,0 +1,170 @@
+//===- bench/bench_e7_word_addressing.cpp - Experiment E7 -----------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// E7 (Section 5): indexed addressing. Three disciplines on a simulated
+// word-addressed machine (word size 4):
+//
+//   byte-emulation — "keep all pointers as byte-pointers and convert
+//                     when dereferencing": greatest portability, every
+//                     dereference pays address decomposition + variable
+//                     shifts/masks;
+//   hybrid         — the paper's contribution: word pointers by default,
+//                     constant offsets become ConstBytePtr (cheap
+//                     constant extracts), variable arithmetic is a
+//                     compile error (and so never appears here);
+//   word-native    — word-sized data only (the code a DSP programmer
+//                     would write by hand).
+//
+// Workloads: the paper's struct-field idiom (struct T { char a,b,c,d; };
+// p->a = p->b) and an array-of-structs sweep. The string loop
+// (*string++ = (char)i) appears only in its legal byte-pointer form —
+// in the hybrid discipline it does not compile, which is the feature.
+//
+// Expected shape: hybrid ops/deref close to word-native; byte-emulation
+// >= 2x word-native ("an often unacceptable performance hit").
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "wordaddr/WordPtr.h"
+
+using namespace omm::bench;
+using namespace omm::wordaddr;
+
+namespace {
+
+struct T4 {
+  char A, B, C, D;
+};
+
+constexpr uint32_t Elements = 4096;
+
+/// The paper's struct-field workload under the hybrid discipline:
+/// everything is constant-offset, so every access compiles to loads plus
+/// constant extracts/inserts.
+void BM_StructFieldsHybrid(benchmark::State &State) {
+  for (auto _ : State) {
+    WordMemory Mem(Elements * 2, 4);
+    auto Base = allocWordArray<T4>(Mem, Elements);
+    Mem.resetOps();
+    for (uint32_t I = 0; I != Elements; ++I) {
+      // p->a = p->b; p->c = p->d; with p = &array[I].
+      auto P = WordPtr<T4, 4>(Base.wordIndex() + I);
+      OMM_WORD_FIELD(P, T4, A).store(Mem,
+                                     OMM_WORD_FIELD(P, T4, B).load(Mem));
+      OMM_WORD_FIELD(P, T4, C).store(Mem,
+                                     OMM_WORD_FIELD(P, T4, D).load(Mem));
+    }
+    uint64_t Ops = Mem.ops().total();
+    reportSimCycles(State, Ops);
+    State.counters["ops_per_access"] =
+        static_cast<double>(Ops) / (Elements * 4);
+    State.counters["shift_ops"] = static_cast<double>(Mem.ops().ShiftOps);
+  }
+}
+
+/// The same workload with everything forced through general byte
+/// pointers (the portable-emulation strategy).
+void BM_StructFieldsByteEmulation(benchmark::State &State) {
+  for (auto _ : State) {
+    WordMemory Mem(Elements * 2, 4);
+    auto Base = allocWordArray<T4>(Mem, Elements).toBytePtr();
+    Mem.resetOps();
+    for (uint32_t I = 0; I != Elements; ++I) {
+      BytePtr<char, 4> A((Base + I).byteAddr() + 0);
+      BytePtr<char, 4> B((Base + I).byteAddr() + 1);
+      BytePtr<char, 4> C((Base + I).byteAddr() + 2);
+      BytePtr<char, 4> D((Base + I).byteAddr() + 3);
+      A.store(Mem, B.load(Mem));
+      C.store(Mem, D.load(Mem));
+    }
+    uint64_t Ops = Mem.ops().total();
+    reportSimCycles(State, Ops);
+    State.counters["ops_per_access"] =
+        static_cast<double>(Ops) / (Elements * 4);
+    State.counters["shift_ops"] = static_cast<double>(Mem.ops().ShiftOps);
+  }
+}
+
+/// Word-native reference: the whole struct moves as one word.
+void BM_StructFieldsWordNative(benchmark::State &State) {
+  for (auto _ : State) {
+    WordMemory Mem(Elements * 2, 4);
+    auto Base = allocWordArray<uint32_t>(Mem, Elements);
+    Mem.resetOps();
+    for (uint32_t I = 0; I != Elements; ++I) {
+      auto P = WordPtr<uint32_t, 4>(Base.wordIndex() + I);
+      uint32_t Word = static_cast<uint32_t>(P.load(Mem));
+      // a = b; c = d; in registers — one load, one store, ALU shuffles.
+      uint32_t BVal = (Word >> 8) & 0xFF;
+      uint32_t DVal = (Word >> 24) & 0xFF;
+      Word = (Word & 0xFFFFFF00u) | BVal;
+      Word = (Word & 0xFF00FFFFu) | (DVal << 16);
+      P.store(Mem, Word);
+    }
+    uint64_t Ops = Mem.ops().total();
+    reportSimCycles(State, Ops);
+    State.counters["ops_per_access"] =
+        static_cast<double>(Ops) / (Elements * 4);
+  }
+}
+
+/// The string loop, legal only on byte pointers; reported to quantify
+/// what the hybrid discipline's compile error is protecting against.
+void BM_StringLoopBytePointers(benchmark::State &State) {
+  for (auto _ : State) {
+    WordMemory Mem(Elements, 4);
+    BytePtr<char, 4> Cursor =
+        allocWordArray<char, 4>(Mem, Elements * 2).toBytePtr();
+    Mem.resetOps();
+    for (uint32_t I = 0; I != Elements; ++I) {
+      Cursor.store(Mem, static_cast<char>(I));
+      ++Cursor;
+    }
+    uint64_t Ops = Mem.ops().total();
+    reportSimCycles(State, Ops);
+    State.counters["ops_per_store"] =
+        static_cast<double>(Ops) / Elements;
+  }
+}
+
+/// Word-pointer bulk fill: what the hybrid discipline pushes the
+/// programmer toward after the compile error — pack four chars and
+/// store whole words.
+void BM_StringLoopWordPacked(benchmark::State &State) {
+  for (auto _ : State) {
+    WordMemory Mem(Elements, 4);
+    auto Base = allocWordArray<uint32_t, 4>(Mem, Elements / 4);
+    Mem.resetOps();
+    for (uint32_t I = 0; I != Elements / 4; ++I) {
+      uint32_t Packed = 0;
+      for (uint32_t J = 0; J != 4; ++J)
+        Packed |= static_cast<uint32_t>(
+                      static_cast<uint8_t>(I * 4 + J))
+                  << (J * 8);
+      WordPtr<uint32_t, 4>(Base.wordIndex() + I).store(Mem, Packed);
+    }
+    uint64_t Ops = Mem.ops().total();
+    reportSimCycles(State, Ops);
+    State.counters["ops_per_store"] =
+        static_cast<double>(Ops) / Elements;
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_StructFieldsWordNative)
+    ->Apply([](benchmark::internal::Benchmark *B) { simBench(B); });
+BENCHMARK(BM_StructFieldsHybrid)
+    ->Apply([](benchmark::internal::Benchmark *B) { simBench(B); });
+BENCHMARK(BM_StructFieldsByteEmulation)
+    ->Apply([](benchmark::internal::Benchmark *B) { simBench(B); });
+BENCHMARK(BM_StringLoopWordPacked)
+    ->Apply([](benchmark::internal::Benchmark *B) { simBench(B); });
+BENCHMARK(BM_StringLoopBytePointers)
+    ->Apply([](benchmark::internal::Benchmark *B) { simBench(B); });

@@ -1,0 +1,110 @@
+//===- examples/offload_analyzer.cpp - The compiler's view ----------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays the paper's annotation workflow with the duplication
+// analysis: model a slice of a game (frame driver, physics middleware
+// in a source-less archive, a polymorphic entity hierarchy), ask for an
+// offload closure, read the compiler's complaints, add the annotations,
+// and compare the resulting duplicate sets and code footprints.
+//
+//   $ ./offload_analyzer
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/OffloadClosure.h"
+#include "support/OStream.h"
+
+using namespace omm;
+using namespace omm::callgraph;
+using namespace omm::domains;
+
+namespace {
+
+void printSummary(OStream &OS, const char *Label,
+                  const ClosureResult &Result) {
+  OS.padded(Label, 40);
+  OS.paddedInt(Result.functionCount(), 6);
+  OS.paddedInt(Result.duplicateCount(), 8);
+  OS.paddedInt(Result.virtualAnnotationCount(), 8);
+  OS.paddedInt(static_cast<int64_t>(Result.codeBytes()) / 1024, 7);
+  OS << (Result.isComplete() ? "   yes" : "   NO") << '\n';
+}
+
+} // namespace
+
+int main() {
+  OStream &OS = outs();
+  OS << "Offload closure analysis (Section 3's automatic function "
+        "duplication)\n";
+  OS << "======================================================="
+        "==============\n\n";
+
+  ProgramModel Program;
+  UnitId GameUnit = Program.addUnit("game/frame.cpp");
+  UnitId AiUnit = Program.addUnit("game/ai.cpp");
+  UnitId PhysicsLib =
+      Program.addUnit("libphysics.a", /*SourceAvailable=*/false);
+
+  // The frame driver and its helpers.
+  FunctionId DoFrame = Program.addFunction("doFrame", GameUnit, 0, 512);
+  FunctionId Strategy =
+      Program.addFunction("calculateStrategy", AiUnit, 1, 4096);
+  FunctionId ScoreTarget =
+      Program.addFunction("scoreTarget", AiUnit, 2, 1024);
+  FunctionId Integrate =
+      Program.addFunction("integrateBody", PhysicsLib, 1, 2048);
+
+  // A small polymorphic hierarchy dispatched from the AI.
+  VirtualSlotId Sense = Program.addVirtualSlot("Sensor::evaluate");
+  FunctionId SightSense =
+      Program.addFunction("SightSensor::evaluate", AiUnit, 1, 768);
+  FunctionId SoundSense =
+      Program.addFunction("SoundSensor::evaluate", AiUnit, 1, 640);
+  Program.addOverride(Sense, SightSense);
+  Program.addOverride(Sense, SoundSense);
+
+  Program.addCall(DoFrame, Strategy, {ArgBinding::local()});
+  Program.addCall(Strategy, ScoreTarget,
+                  {ArgBinding::fromParam(0), ArgBinding::outer()});
+  Program.addVirtualCall(Strategy, Sense, {ArgBinding::fromParam(0)});
+  Program.addCall(Strategy, Integrate, {ArgBinding::fromParam(0)});
+  // The sensors also score through the helper, with *their* object.
+  Program.addCall(SightSense, ScoreTarget,
+                  {ArgBinding::fromParam(0), ArgBinding::local()});
+  Program.addCall(SoundSense, ScoreTarget,
+                  {ArgBinding::fromParam(0), ArgBinding::outer()});
+
+  OS << "First attempt: offload doFrame with no annotations.\n";
+  DiagSink Diags;
+  ClosureRequest Request;
+  Request.Root = DoFrame;
+  ClosureResult Bare = computeOffloadClosure(Program, Request, &Diags);
+  for (const Diag &D : Diags.diags())
+    OS << "  error: " << D.Message << '\n';
+
+  OS << "\nSecond attempt: annotate Sensor::evaluate and provide a "
+        "hand-written\nduplicate for the middleware solver.\n\n";
+  Request.AnnotatedSlots = {Sense};
+  Request.ProvidedDuplicates = {Integrate};
+  ClosureResult Full = computeOffloadClosure(Program, Request);
+
+  OS.padded("closure", 40);
+  OS << "fns   dups    annot.  KiB    complete\n";
+  printSummary(OS, "doFrame, no annotations", Bare);
+  printSummary(OS, "doFrame, annotated + provided", Full);
+
+  OS << "\nduplicates required (function x memory-space signature):\n";
+  for (const DuplicateRecord &Record : Full.duplicates())
+    OS << "  " << Program.functionName(Record.Fn) << " "
+       << Record.Sig.str() << '\n';
+
+  OS << "\nNote scoreTarget: its three call sites carry two distinct "
+        "space\ncombinations, so two duplicates are compiled — "
+        "\"distinct combinations of\nmemory spaces in arguments require "
+        "distinct duplicates\" (Section 4.1).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- examples/quickstart.cpp - Tour of the public API -------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// A five-minute tour: build a Cell-like machine, put data in outer
+// memory, offload a block that works on it through explicit DMA, an
+// Array accessor and a software cache, and read the performance
+// counters that explain what each choice cost.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/Accessors.h"
+#include "offload/Offload.h"
+#include "offload/SetAssociativeCache.h"
+#include "support/OStream.h"
+
+using namespace omm;
+using namespace omm::offload;
+using namespace omm::sim;
+
+namespace {
+volatile float Sink;
+/// Keeps a computed value alive so the tour's arithmetic is not elided.
+void keep(float Value) { Sink = Value; }
+} // namespace
+
+int main() {
+  OStream &OS = outs();
+  OS << "offload-mm quickstart\n";
+  OS << "=====================\n\n";
+
+  // 1. The machine: one host plus six accelerators with 256 KB local
+  //    stores and MFC-style DMA (a PlayStation-3-like shape). Every
+  //    parameter is a MachineConfig field.
+  Machine M(MachineConfig::cellLike());
+  OS << "machine: " << M.numAccelerators()
+     << " accelerators, local store "
+     << M.config().LocalStoreSize / 1024 << " KiB, DMA latency "
+     << M.config().DmaLatencyCycles << " cycles\n\n";
+
+  // 2. Game-ish data lives in the outer (main) memory space. OuterPtr
+  //    is the library's __outer-qualified pointer: it cannot be mixed
+  //    with local-store pointers (that is a compile error).
+  constexpr uint32_t Count = 1024;
+  OuterPtr<float> Scores = allocOuterArray<float>(M, Count);
+  for (uint32_t I = 0; I != Count; ++I)
+    (Scores + I).hostWrite(M, static_cast<float>(I) * 0.5f);
+
+  // 3. An offload block (__offload { ... }). The body runs on an
+  //    accelerator in parallel simulated time; the host continues until
+  //    the join.
+  OffloadHandle Handle = offloadBlock(M, [&](OffloadContext &Ctx) {
+    // 3a. The naive way to touch outer data: each dereference is a
+    //     synchronous DMA round trip.
+    float First = (Scores + 0).read(Ctx);
+    (void)First;
+
+    // 3b. The Array accessor (Section 4.2 of the paper): one bulk
+    //     transfer in, local-cost access, one bulk transfer out.
+    ArrayAccessor<float> Local(Ctx, Scores, Count);
+    for (uint32_t I = 0; I != Count; ++I)
+      Local.update(I, [](float &Value) { Value = Value * 2.0f + 1.0f; });
+    Local.commit();
+
+    // 3c. A software cache for irregular access.
+    SetAssociativeCache Cache(Ctx, {128, 16, 4, 16});
+    Ctx.bindCache(&Cache);
+    float Sum = 0.0f;
+    for (uint32_t I = 0; I < Count; I += 97)
+      Sum += (Scores + I).read(Ctx);
+    Ctx.bindCache(nullptr);
+
+    // 3d. Model the computation itself.
+    Ctx.compute(10000);
+    keep(Sum);
+  });
+
+  // 4. Host work here would overlap the block; then join.
+  M.hostCompute(5000);
+  offloadJoin(M, Handle);
+
+  // 5. What did it cost? The counters are the paper's profiling loop.
+  OS << "results:\n";
+  OS << "  first element is now "
+     << static_cast<double>((Scores + 0).hostRead(M)) << " (was 0.0)\n";
+  OS << "  total simulated time: " << M.globalTime() << " cycles\n\n";
+  OS << "accelerator 0 counters:\n";
+  M.accel(0).Counters.print(OS);
+  OS << "\nDone. Next: examples/game_frame for the Figure 2 schedule,\n"
+     << "examples/collision_pipeline for Figure 1's explicit DMA.\n";
+  return 0;
+}

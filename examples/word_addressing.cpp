@@ -1,0 +1,116 @@
+//===- examples/word_addressing.cpp - Section 5's hybrid pointers ---------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's word-addressing discipline on a simulated TigerSHARC-like
+// memory: word pointers by default, constant offsets become efficient
+// constant-extract byte pointers, and variable byte arithmetic exists
+// only on explicitly declared byte pointers (on a real build of the
+// paper's compiler, `p + x` on a word pointer is a compile error — here
+// it simply does not compile, as the commented line shows).
+//
+//   $ ./word_addressing
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+#include "wordaddr/WordPtr.h"
+
+using namespace omm;
+using namespace omm::wordaddr;
+
+namespace {
+
+struct T {
+  char A, B, C, D;
+};
+
+void printOps(OStream &OS, const char *Label, const OpCounts &Ops) {
+  OS.padded(Label, 38);
+  OS.paddedInt(static_cast<int64_t>(Ops.WordLoads), 7);
+  OS.paddedInt(static_cast<int64_t>(Ops.WordStores), 8);
+  OS.paddedInt(static_cast<int64_t>(Ops.ExtractOps + Ops.InsertOps), 9);
+  OS.paddedInt(static_cast<int64_t>(Ops.ShiftOps + Ops.MaskOps), 8);
+  OS.paddedInt(static_cast<int64_t>(Ops.total()), 7);
+  OS << '\n';
+}
+
+} // namespace
+
+int main() {
+  OStream &OS = outs();
+  OS << "Section 5: indexed addressing (word size 4)\n";
+  OS << "===========================================\n\n";
+
+  WordMemory Mem(4096, 4);
+
+  // The paper's struct example, hybrid discipline.
+  auto P = allocWordArray<T>(Mem, 64);
+  OMM_WORD_FIELD(P, T, B).store(Mem, 'b');
+  // p->a = p->b; — works via constant offsets.
+  OMM_WORD_FIELD(P, T, A).store(Mem, OMM_WORD_FIELD(P, T, B).load(Mem));
+  OS << "struct T { char a,b,c,d; }; p->a = p->b  =>  p->a = '"
+     << OMM_WORD_FIELD(P, T, A).load(Mem) << "'\n\n";
+
+  // Constant pointer arithmetic changes the static type:
+  auto CharPtr = allocWordArray<char>(Mem, 64);
+  auto PlusFour = CharPtr.add<4>(); // still a word pointer
+  auto PlusOne = CharPtr.add<1>();  // becomes ConstBytePtr<char,4,1>
+  static_assert(std::is_same_v<decltype(PlusFour), WordPtr<char, 4>>);
+  static_assert(
+      std::is_same_v<decltype(PlusOne), ConstBytePtr<char, 4, 1>>);
+  OS << "p + 4 stays word-addressed; p + 1 becomes a constant-offset\n"
+        "byte pointer; p + x (variable) is a compile error:\n"
+        "    // auto Bad = CharPtr + X;   <- does not compile\n\n";
+
+  // Cost comparison on 1000 single-char dereferences.
+  OS.padded("discipline", 38);
+  OS << "loads  stores  ext/ins  sh/mask  total\n";
+
+  Mem.resetOps();
+  for (int I = 0; I != 1000; ++I)
+    (void)CharPtr.load(Mem);
+  printOps(OS, "word pointer (aligned char)", Mem.ops());
+
+  Mem.resetOps();
+  auto Const1 = CharPtr.add<1>();
+  for (int I = 0; I != 1000; ++I)
+    (void)Const1.load(Mem);
+  printOps(OS, "const-offset byte pointer (p+1)", Mem.ops());
+
+  Mem.resetOps();
+  BytePtr<char, 4> Runtime = CharPtr.toBytePtr() + 1;
+  for (int I = 0; I != 1000; ++I)
+    (void)Runtime.load(Mem);
+  printOps(OS, "variable byte pointer (__byte)", Mem.ops());
+
+  OS << "\nThe string loop *string++ = (char)i compiles only with "
+        "__byte\npointers — the hybrid discipline forces the rewrite "
+        "into packed\nword stores, which is the paper's point:\n\n";
+
+  Mem.resetOps();
+  BytePtr<char, 4> Cursor = allocWordArray<char>(Mem, 256).toBytePtr();
+  for (int I = 0; I != 256; ++I) {
+    Cursor.store(Mem, static_cast<char>(I));
+    ++Cursor;
+  }
+  printOps(OS, "string loop, byte pointers", Mem.ops());
+
+  Mem.resetOps();
+  auto Words = allocWordArray<uint32_t>(Mem, 64);
+  for (uint32_t I = 0; I != 64; ++I) {
+    uint32_t Packed = 0;
+    for (uint32_t J = 0; J != 4; ++J)
+      Packed |= uint32_t(uint8_t(I * 4 + J)) << (J * 8);
+    WordPtr<uint32_t, 4>(Words.wordIndex() + I).store(Mem, Packed);
+  }
+  printOps(OS, "string loop, packed word stores", Mem.ops());
+
+  OS << "\n\"We have found that game developers prefer the hybrid "
+        "technique when\nthey want to be highlighted of inefficient "
+        "code generation.\"\n";
+  return 0;
+}

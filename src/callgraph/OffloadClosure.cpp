@@ -1,0 +1,159 @@
+//===- callgraph/OffloadClosure.cpp - Duplication analysis -----------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/OffloadClosure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace omm;
+using namespace omm::callgraph;
+using namespace omm::domains;
+
+bool ClosureResult::requiresFunction(FunctionId Fn) const {
+  for (const DuplicateRecord &Record : Duplicates)
+    if (Record.Fn == Fn)
+      return true;
+  return false;
+}
+
+bool ClosureResult::requiresDuplicate(FunctionId Fn, DuplicateId Sig) const {
+  for (const DuplicateRecord &Record : Duplicates)
+    if (Record.Fn == Fn && Record.Sig == Sig)
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Signature of a callee given the caller duplicate's signature and the
+/// call site's argument bindings.
+DuplicateId propagate(const ProgramModel &Program, FunctionId Callee,
+                      DuplicateId CallerSig,
+                      const std::vector<ArgBinding> &Args) {
+  DuplicateId Sig;
+  Sig.NumArgs = static_cast<uint8_t>(Program.numPtrParams(Callee));
+  assert(Args.size() == Sig.NumArgs && "binding/parameter mismatch");
+  for (unsigned I = 0; I != Sig.NumArgs; ++I) {
+    bool Local = false;
+    switch (Args[I].Kind) {
+    case ArgBinding::FromCallerParam:
+      Local = (CallerSig.Bits >> Args[I].CallerParam) & 1;
+      break;
+    case ArgBinding::AlwaysLocal:
+      Local = true;
+      break;
+    case ArgBinding::AlwaysOuter:
+      Local = false;
+      break;
+    }
+    if (Local)
+      Sig.Bits |= 1u << I;
+  }
+  return Sig;
+}
+
+} // namespace
+
+ClosureResult
+omm::callgraph::computeOffloadClosure(const ProgramModel &Program,
+                                      const ClosureRequest &Request,
+                                      DiagSink *Diags) {
+  ClosureResult Result;
+
+  auto SlotAnnotated = [&](VirtualSlotId Slot) {
+    return std::find(Request.AnnotatedSlots.begin(),
+                     Request.AnnotatedSlots.end(),
+                     Slot) != Request.AnnotatedSlots.end();
+  };
+  auto DuplicateProvided = [&](FunctionId Fn) {
+    return std::find(Request.ProvidedDuplicates.begin(),
+                     Request.ProvidedDuplicates.end(),
+                     Fn) != Request.ProvidedDuplicates.end();
+  };
+
+  // Worklist fixpoint over (function, signature) pairs. The visited set
+  // is ordered so results and diagnostics are deterministic.
+  std::set<std::pair<FunctionId, uint32_t>> Visited;
+  std::set<FunctionId> SeenFunctions;
+  std::set<FunctionId> ReportedUnavailable;
+  std::set<std::pair<FunctionId, VirtualSlotId>> ReportedUnresolved;
+  std::set<FunctionId> CountedVirtualTargets;
+  std::vector<DuplicateRecord> Worklist;
+
+  auto Enqueue = [&](FunctionId Fn, DuplicateId Sig, FunctionId From,
+                     bool ViaAnnotatedSlot) {
+    // Unavailable source without a provided duplicate: the paper's
+    // separate-compilation annotation case.
+    UnitId Unit = Program.unitOf(Fn);
+    if (!Program.unitSourceAvailable(Unit) && !DuplicateProvided(Fn)) {
+      if (ReportedUnavailable.insert(Fn).second) {
+        ++Result.UnavailableFunctions;
+        if (Diags)
+          Diags->error(
+              "offload closure: '" + Program.functionName(Fn) +
+              "' (called from '" + Program.functionName(From) +
+              "') lives in compilation unit '" + Program.unitName(Unit) +
+              "' whose source is not available for accelerator "
+              "compilation; provide a duplicate or make the source "
+              "available");
+      }
+      return;
+    }
+    if (ViaAnnotatedSlot && CountedVirtualTargets.insert(Fn).second)
+      ++Result.VirtualAnnotations;
+    if (!Visited.insert({Fn, Sig.Bits}).second)
+      return;
+    Worklist.push_back(DuplicateRecord{Fn, Sig});
+    Result.Duplicates.push_back(DuplicateRecord{Fn, Sig});
+    Result.CodeBytes += Program.codeBytes(Fn);
+    if (SeenFunctions.insert(Fn).second)
+      ++Result.FunctionCount;
+  };
+
+  Enqueue(Request.Root, Request.RootSig, Request.Root,
+          /*ViaAnnotatedSlot=*/false);
+
+  while (!Worklist.empty()) {
+    DuplicateRecord Current = Worklist.back();
+    Worklist.pop_back();
+
+    for (const CallSite &Site : Program.callSites(Current.Fn)) {
+      if (Site.Kind == CallSite::Direct) {
+        DuplicateId CalleeSig =
+            propagate(Program, Site.Callee, Current.Sig, Site.Args);
+        Enqueue(Site.Callee, CalleeSig, Current.Fn,
+                /*ViaAnnotatedSlot=*/false);
+        continue;
+      }
+
+      // Virtual site: enumerable only when annotated.
+      if (!SlotAnnotated(Site.VirtualSlot)) {
+        if (ReportedUnresolved.insert({Current.Fn, Site.VirtualSlot})
+                .second) {
+          ++Result.UnresolvedVirtualSites;
+          if (Diags)
+            Diags->error(
+                "offload closure: virtual call through '" +
+                Program.slotName(Site.VirtualSlot) + "' in '" +
+                Program.functionName(Current.Fn) +
+                "' is not annotated; specify which methods may be "
+                "called virtually inside this offload");
+        }
+        continue;
+      }
+      for (FunctionId Override : Program.overridesOf(Site.VirtualSlot)) {
+        DuplicateId CalleeSig =
+            propagate(Program, Override, Current.Sig, Site.Args);
+        Enqueue(Override, CalleeSig, Current.Fn,
+                /*ViaAnnotatedSlot=*/true);
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,119 @@
+//===- callgraph/OffloadClosure.h - Duplication analysis -------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic-function-duplication analysis of Offload C++
+/// (Section 3): starting from an offload block's root, compute every
+/// (function, memory-space-signature) duplicate that must be compiled
+/// for the accelerator — "distinct combinations of memory spaces in
+/// arguments require distinct duplicates to be made with the
+/// appropriate data transfer code" (Section 4.1). Signatures propagate
+/// through call edges: a callee parameter bound to a caller parameter
+/// inherits the caller duplicate's space for it; parameters bound to
+/// block-local or host data are local/outer unconditionally.
+///
+/// The two manual-annotation cases the paper names surface as
+/// diagnostics:
+///   - a reachable function in a compilation unit whose source is not
+///     available cannot be duplicated (unless a hand-provided duplicate
+///     is declared);
+///   - a virtual call site through an unannotated slot cannot be
+///     enumerated ("the programmer must specify which methods or
+///     functions may be called virtually").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_CALLGRAPH_OFFLOADCLOSURE_H
+#define OMM_CALLGRAPH_OFFLOADCLOSURE_H
+
+#include "callgraph/ProgramModel.h"
+#include "support/Diag.h"
+
+#include <vector>
+
+namespace omm::callgraph {
+
+/// One duplicate the accelerator build must contain.
+struct DuplicateRecord {
+  FunctionId Fn;
+  domains::DuplicateId Sig;
+};
+
+/// Inputs to a closure computation: the offload root, the annotations
+/// the programmer supplied, and any hand-provided duplicates.
+struct ClosureRequest {
+  FunctionId Root = 0;
+  domains::DuplicateId RootSig; ///< Spaces of the root's pointer params.
+  /// Virtual slots annotated for this offload: every registered
+  /// override of an annotated slot is a permitted target.
+  std::vector<VirtualSlotId> AnnotatedSlots;
+  /// Functions for which a duplicate is provided by hand even though
+  /// their unit's source is unavailable.
+  std::vector<FunctionId> ProvidedDuplicates;
+};
+
+/// The computed closure.
+class ClosureResult {
+public:
+  /// True when every reachable call was resolved and every reachable
+  /// function can be compiled: the offload builds without further
+  /// annotations.
+  bool isComplete() const {
+    return UnresolvedVirtualSites == 0 && UnavailableFunctions == 0;
+  }
+
+  /// Distinct functions needing accelerator code (the per-offload
+  /// "annotation count" of Section 4.1 corresponds to the virtually
+  /// callable subset; see virtualAnnotationCount).
+  unsigned functionCount() const { return FunctionCount; }
+
+  /// Total (function, signature) duplicates.
+  unsigned duplicateCount() const {
+    return static_cast<unsigned>(Duplicates.size());
+  }
+
+  /// Overrides reachable through annotated virtual slots — what the
+  /// programmer had to list (the paper's 100+/40 numbers).
+  unsigned virtualAnnotationCount() const { return VirtualAnnotations; }
+
+  /// Accelerator code bytes over all duplicates.
+  uint64_t codeBytes() const { return CodeBytes; }
+
+  unsigned unresolvedVirtualSites() const { return UnresolvedVirtualSites; }
+  unsigned unavailableFunctions() const { return UnavailableFunctions; }
+
+  const std::vector<DuplicateRecord> &duplicates() const {
+    return Duplicates;
+  }
+
+  /// \returns true if any duplicate of \p Fn is required.
+  bool requiresFunction(FunctionId Fn) const;
+
+  /// \returns true if the specific duplicate is required.
+  bool requiresDuplicate(FunctionId Fn, domains::DuplicateId Sig) const;
+
+private:
+  friend ClosureResult computeOffloadClosure(const ProgramModel &,
+                                             const ClosureRequest &,
+                                             DiagSink *);
+  std::vector<DuplicateRecord> Duplicates;
+  unsigned FunctionCount = 0;
+  unsigned VirtualAnnotations = 0;
+  unsigned UnresolvedVirtualSites = 0;
+  unsigned UnavailableFunctions = 0;
+  uint64_t CodeBytes = 0;
+};
+
+/// Runs the duplication fixpoint; diagnostics (if \p Diags is non-null)
+/// mirror the paper's compiler messages.
+ClosureResult computeOffloadClosure(const ProgramModel &Program,
+                                    const ClosureRequest &Request,
+                                    DiagSink *Diags = nullptr);
+
+} // namespace omm::callgraph
+
+#endif // OMM_CALLGRAPH_OFFLOADCLOSURE_H

@@ -1,0 +1,112 @@
+//===- callgraph/ProgramModel.cpp - A model of game program structure ------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/ProgramModel.h"
+
+#include <cassert>
+
+using namespace omm::callgraph;
+
+UnitId ProgramModel::addUnit(std::string Name, bool SourceAvailable) {
+  Units.push_back(UnitInfo{std::move(Name), SourceAvailable});
+  return static_cast<UnitId>(Units.size() - 1);
+}
+
+FunctionId ProgramModel::addFunction(std::string Name, UnitId Unit,
+                                     unsigned NumPtrParams,
+                                     uint32_t CodeBytes) {
+  assert(Unit < Units.size() && "unknown unit");
+  assert(NumPtrParams <= 32 && "signature bits are 32 wide");
+  Functions.push_back(
+      FunctionInfo{std::move(Name), Unit, NumPtrParams, CodeBytes, {}});
+  return static_cast<FunctionId>(Functions.size() - 1);
+}
+
+VirtualSlotId ProgramModel::addVirtualSlot(std::string Name) {
+  Slots.push_back(SlotInfo{std::move(Name), {}});
+  return static_cast<VirtualSlotId>(Slots.size() - 1);
+}
+
+void ProgramModel::addOverride(VirtualSlotId Slot, FunctionId Fn) {
+  assert(Slot < Slots.size() && "unknown slot");
+  assert(Fn < Functions.size() && "unknown function");
+  Slots[Slot].Overrides.push_back(Fn);
+}
+
+void ProgramModel::addCall(FunctionId Caller, FunctionId Callee,
+                           std::vector<ArgBinding> Args) {
+  assert(Caller < Functions.size() && Callee < Functions.size() &&
+         "unknown function");
+  assert(Args.size() == Functions[Callee].NumPtrParams &&
+         "argument bindings must cover every callee pointer parameter");
+  for (const ArgBinding &Arg : Args)
+    assert((Arg.Kind != ArgBinding::FromCallerParam ||
+            Arg.CallerParam < Functions[Caller].NumPtrParams) &&
+           "forwarding a parameter the caller does not have");
+  CallSite Site;
+  Site.Kind = CallSite::Direct;
+  Site.Callee = Callee;
+  Site.Args = std::move(Args);
+  Functions[Caller].Sites.push_back(std::move(Site));
+}
+
+void ProgramModel::addVirtualCall(FunctionId Caller, VirtualSlotId Slot,
+                                  std::vector<ArgBinding> Args) {
+  assert(Caller < Functions.size() && "unknown function");
+  assert(Slot < Slots.size() && "unknown slot");
+  CallSite Site;
+  Site.Kind = CallSite::Virtual;
+  Site.VirtualSlot = Slot;
+  Site.Args = std::move(Args);
+  Functions[Caller].Sites.push_back(std::move(Site));
+}
+
+const std::string &ProgramModel::functionName(FunctionId Fn) const {
+  assert(Fn < Functions.size() && "unknown function");
+  return Functions[Fn].Name;
+}
+
+const std::string &ProgramModel::unitName(UnitId Unit) const {
+  assert(Unit < Units.size() && "unknown unit");
+  return Units[Unit].Name;
+}
+
+const std::string &ProgramModel::slotName(VirtualSlotId Slot) const {
+  assert(Slot < Slots.size() && "unknown slot");
+  return Slots[Slot].Name;
+}
+
+bool ProgramModel::unitSourceAvailable(UnitId Unit) const {
+  assert(Unit < Units.size() && "unknown unit");
+  return Units[Unit].SourceAvailable;
+}
+
+UnitId ProgramModel::unitOf(FunctionId Fn) const {
+  assert(Fn < Functions.size() && "unknown function");
+  return Functions[Fn].Unit;
+}
+
+unsigned ProgramModel::numPtrParams(FunctionId Fn) const {
+  assert(Fn < Functions.size() && "unknown function");
+  return Functions[Fn].NumPtrParams;
+}
+
+uint32_t ProgramModel::codeBytes(FunctionId Fn) const {
+  assert(Fn < Functions.size() && "unknown function");
+  return Functions[Fn].CodeBytes;
+}
+
+const std::vector<CallSite> &ProgramModel::callSites(FunctionId Fn) const {
+  assert(Fn < Functions.size() && "unknown function");
+  return Functions[Fn].Sites;
+}
+
+const std::vector<FunctionId> &
+ProgramModel::overridesOf(VirtualSlotId Slot) const {
+  assert(Slot < Slots.size() && "unknown slot");
+  return Slots[Slot].Overrides;
+}

@@ -1,0 +1,168 @@
+//===- dmacheck/DmaRaceChecker.cpp - Dynamic DMA race analysis -----------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dmacheck/DmaRaceChecker.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace omm;
+using namespace omm::dmacheck;
+using namespace omm::sim;
+
+static bool rangesOverlap(uint64_t AStart, uint64_t ASize, uint64_t BStart,
+                          uint64_t BSize) {
+  return AStart < BStart + BSize && BStart < AStart + ASize;
+}
+
+static const char *dirName(DmaDir Dir) {
+  return Dir == DmaDir::Get ? "get" : "put";
+}
+
+static std::string describeTransfer(const DmaTransfer &T) {
+  std::string Str;
+  Str += "dma_";
+  Str += dirName(T.Dir);
+  Str += " #" + std::to_string(T.Id);
+  Str += " (accel " + std::to_string(T.AccelId);
+  Str += ", tag " + std::to_string(T.Tag);
+  Str += ", local 0x" + std::to_string(T.Local.Value);
+  Str += ", global 0x" + std::to_string(T.Global.Value);
+  Str += ", " + std::to_string(T.Size) + " bytes)";
+  return Str;
+}
+
+void DmaRaceChecker::report(RaceKind Kind, unsigned AccelId,
+                            uint64_t TransferId, uint64_t OtherId,
+                            std::string Message) {
+  Races.push_back(RaceReport{Kind, AccelId, TransferId, OtherId});
+  Diags.error(std::move(Message));
+}
+
+unsigned DmaRaceChecker::raceCount(RaceKind Kind) const {
+  unsigned Count = 0;
+  for (const RaceReport &R : Races)
+    if (R.Kind == Kind)
+      ++Count;
+  return Count;
+}
+
+void DmaRaceChecker::reset() {
+  Pending.clear();
+  Races.clear();
+}
+
+void DmaRaceChecker::onIssue(const DmaTransfer &Transfer) {
+  for (const DmaTransfer &Other : Pending) {
+    // Transfers on different accelerators share only main memory.
+    bool SameAccel = Other.AccelId == Transfer.AccelId;
+
+    // A fence orders a transfer after earlier same-tag transfers on the
+    // same engine; a barrier orders it after every earlier transfer on
+    // the engine. Either way the overlap is not a race.
+    bool Ordered =
+        SameAccel && ((Transfer.Fenced && Other.Tag == Transfer.Tag) ||
+                      Transfer.Barriered);
+    if (Ordered)
+      continue;
+
+    // Local-store conflicts: gets write local, puts read local.
+    if (SameAccel &&
+        rangesOverlap(Transfer.Local.Value, Transfer.Size, Other.Local.Value,
+                      Other.Size)) {
+      bool EitherWritesLocal =
+          Transfer.Dir == DmaDir::Get || Other.Dir == DmaDir::Get;
+      if (EitherWritesLocal)
+        report(RaceKind::TransferTransferLocal, Transfer.AccelId, Transfer.Id,
+               Other.Id,
+               "DMA race in local store: " + describeTransfer(Transfer) +
+                   " overlaps in-flight " + describeTransfer(Other) +
+                   "; order them with a fence or dma_wait between them");
+    }
+
+    // Main-memory conflicts: puts write global, gets read global.
+    if (rangesOverlap(Transfer.Global.Value, Transfer.Size,
+                      Other.Global.Value, Other.Size)) {
+      bool EitherWritesGlobal =
+          Transfer.Dir == DmaDir::Put || Other.Dir == DmaDir::Put;
+      if (EitherWritesGlobal)
+        report(RaceKind::TransferTransferGlobal, Transfer.AccelId,
+               Transfer.Id, Other.Id,
+               "DMA race in main memory: " + describeTransfer(Transfer) +
+                   " overlaps in-flight " + describeTransfer(Other) +
+                   "; order them with a fence or dma_wait between them");
+    }
+  }
+  Pending.push_back(Transfer);
+}
+
+void DmaRaceChecker::onWait(unsigned AccelId, uint32_t TagMask,
+                            uint64_t Cycle) {
+  (void)Cycle;
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [&](const DmaTransfer &T) {
+                                 return T.AccelId == AccelId &&
+                                        (TagMask & (1u << T.Tag)) != 0;
+                               }),
+                Pending.end());
+}
+
+void DmaRaceChecker::onLocalAccess(unsigned AccelId, LocalAddr Addr,
+                                   uint32_t Size, bool IsWrite,
+                                   uint64_t Cycle) {
+  (void)Cycle;
+  for (const DmaTransfer &T : Pending) {
+    if (T.AccelId != AccelId)
+      continue;
+    if (!rangesOverlap(Addr.Value, Size, T.Local.Value, T.Size))
+      continue;
+    if (T.Dir == DmaDir::Get) {
+      // Any touch of a range a get is filling is unsynchronised: a read
+      // may see stale bytes, a write may be clobbered when data lands.
+      report(RaceKind::CoreAccessDuringGet, AccelId, T.Id, 0,
+             std::string("core ") + (IsWrite ? "write" : "read") +
+                 " of local store range still being filled by " +
+                 describeTransfer(T) + "; missing dma_wait(tag " +
+                 std::to_string(T.Tag) + ") before the access");
+    } else if (IsWrite) {
+      report(RaceKind::CoreWriteDuringPut, AccelId, T.Id, 0,
+             "core write of local store range still being read by " +
+                 describeTransfer(T) + "; missing dma_wait(tag " +
+                 std::to_string(T.Tag) + ") before the write");
+    }
+  }
+}
+
+void DmaRaceChecker::onHostAccess(GlobalAddr Addr, uint64_t Size,
+                                  bool IsWrite, uint64_t Cycle) {
+  (void)Cycle;
+  for (const DmaTransfer &T : Pending) {
+    if (!rangesOverlap(Addr.Value, Size, T.Global.Value, T.Size))
+      continue;
+    // A put writes main memory: any host touch conflicts. A get reads
+    // main memory: only a host write conflicts.
+    if (T.Dir == DmaDir::Put || IsWrite)
+      report(RaceKind::HostAccessDuringDma, T.AccelId, T.Id, 0,
+             std::string("host ") + (IsWrite ? "write" : "read") +
+                 " of main memory range with in-flight " +
+                 describeTransfer(T) +
+                 "; synchronise the offload before touching shared data");
+  }
+}
+
+void DmaRaceChecker::onBlockEnd(unsigned AccelId) {
+  for (const DmaTransfer &T : Pending)
+    if (T.AccelId == AccelId)
+      report(RaceKind::MissingWait, AccelId, T.Id, 0,
+             "offload block ended with un-waited " + describeTransfer(T) +
+                 "; add dma_wait(tag " + std::to_string(T.Tag) +
+                 ") before the block ends");
+  Pending.erase(std::remove_if(
+                    Pending.begin(), Pending.end(),
+                    [&](const DmaTransfer &T) { return T.AccelId == AccelId; }),
+                Pending.end());
+}

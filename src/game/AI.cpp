@@ -1,0 +1,107 @@
+//===- game/AI.cpp - Behaviour-tree strategy calculation -----------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/AI.h"
+
+using namespace omm::game;
+
+namespace {
+
+/// Helper that walks the behaviour tree while counting visited nodes.
+class TreeWalker {
+public:
+  explicit TreeWalker(AiDecision &Decision) : Decision(Decision) {}
+
+  /// Visits one condition node; \returns its outcome.
+  bool condition(bool Outcome) {
+    ++Decision.NodesEvaluated;
+    return Outcome;
+  }
+
+  /// Visits one action node.
+  void action() { ++Decision.NodesEvaluated; }
+
+private:
+  AiDecision &Decision;
+};
+
+} // namespace
+
+AiDecision omm::game::calculateStrategy(GameEntity &Self,
+                                        const TargetInfo &Target, float Dt,
+                                        const AiParams &Params) {
+  AiDecision Decision;
+  TreeWalker Walker(Decision);
+
+  Self.Cooldown -= Dt;
+  bool Replan = Walker.condition(Self.Cooldown <= 0.0f);
+  if (Replan)
+    Self.Cooldown = Params.ReplanInterval;
+
+  Vec3 ToTarget = Target.Position - Self.Position;
+  float DistSq = ToTarget.lengthSq();
+
+  // Pickups and projectiles have degenerate strategies.
+  if (Walker.condition(Self.Kind == EntityKind::Pickup)) {
+    Walker.action();
+    Self.State = AiState::Idle;
+    Self.Velocity = Vec3();
+    return Decision;
+  }
+  if (Walker.condition(Self.Kind == EntityKind::Projectile)) {
+    Walker.action();
+    Self.State = AiState::Seek; // Projectiles fly on; physics moves them.
+    return Decision;
+  }
+
+  // Survival selector: flee when badly hurt, unless very aggressive.
+  bool Hurt = Walker.condition(Self.Health <
+                               100.0f * Params.FleeHealthFraction);
+  bool Brave = Walker.condition(Self.Aggression > 0.8f);
+  if (Hurt && !Brave) {
+    Walker.action();
+    Self.State = AiState::Flee;
+    Vec3 Away = (Self.Position - Target.Position).normalized();
+    Self.Velocity = Away * Self.Speed;
+    Self.TargetId = NoTarget;
+    return Decision;
+  }
+
+  // Combat selector.
+  float Attack2 = Params.AttackRadius * Params.AttackRadius;
+  float Seek2 = Params.SeekRadius * Params.SeekRadius;
+  if (Walker.condition(DistSq <= Attack2)) {
+    Walker.action();
+    Self.State = AiState::Attack;
+    Self.TargetId = Target.Id;
+    // Circle the target: rotate the pursuit direction a quarter turn.
+    Vec3 Dir = ToTarget.normalized();
+    Self.Velocity = Vec3(-Dir.Y, Dir.X, Dir.Z * 0.5f) * (Self.Speed * 0.5f);
+    return Decision;
+  }
+  if (Walker.condition(DistSq <= Seek2)) {
+    bool Engages =
+        Walker.condition(Self.Aggression > 0.3f || Replan);
+    if (Engages) {
+      Walker.action();
+      Self.State = AiState::Seek;
+      Self.TargetId = Target.Id;
+      Self.Velocity = ToTarget.normalized() * Self.Speed;
+      return Decision;
+    }
+  }
+
+  // Default: patrol a deterministic orbit derived from the entity id.
+  Walker.action();
+  Self.State = AiState::Patrol;
+  Self.TargetId = NoTarget;
+  float Phase = static_cast<float>(Self.Id % 64) * 0.098174770f;
+  Self.Velocity =
+      Vec3(Phase - 3.14f, 1.5f - Phase * 0.5f, 0.25f).normalized() *
+      (Self.Speed * 0.5f);
+  return Decision;
+}

@@ -1,0 +1,262 @@
+//===- game/Collision.cpp - Broadphase and collision response ------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/Collision.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+bool omm::game::respondToCollision(GameEntity &First, GameEntity &Second) {
+  Vec3 Delta = Second.Position - First.Position;
+  float R = First.Radius + Second.Radius;
+  float Dist2 = Delta.lengthSq();
+  if (Dist2 > R * R)
+    return false;
+
+  float Dist = std::sqrt(Dist2 > 1e-12f ? Dist2 : 1e-12f);
+  Vec3 Normal = Dist > 1e-6f ? Delta * (1.0f / Dist) : Vec3(1.0f, 0.0f, 0.0f);
+
+  // Positional separation, split evenly (equal masses).
+  float Penetration = R - Dist;
+  First.Position -= Normal * (Penetration * 0.5f);
+  Second.Position += Normal * (Penetration * 0.5f);
+
+  // Impulse along the contact normal with mild restitution.
+  float RelativeSpeed =
+      Second.Velocity.dot(Normal) - First.Velocity.dot(Normal);
+  Vec3 Impulse = Normal * (RelativeSpeed * 0.45f);
+  First.Velocity += Impulse;
+  Second.Velocity -= Impulse;
+
+  First.Health -= 1.0f;
+  Second.Health -= 1.0f;
+  ++First.HitCount;
+  ++Second.HitCount;
+  return true;
+}
+
+namespace {
+
+/// Integer cell coordinate key with a total order (deterministic
+/// iteration; see the LLVM guidance on pointer/unordered iteration).
+struct CellKey {
+  int32_t X, Y, Z;
+  bool operator<(const CellKey &O) const {
+    if (X != O.X)
+      return X < O.X;
+    if (Y != O.Y)
+      return Y < O.Y;
+    return Z < O.Z;
+  }
+};
+
+} // namespace
+
+std::vector<CollisionPair>
+omm::game::broadphaseHost(const EntityStore &Entities,
+                          const CollisionParams &Params) {
+  Machine &M = Entities.machine();
+
+  // Bin every entity, reading its bounds from main memory (costed).
+  struct Snapshot {
+    Vec3 Position;
+    float Radius;
+    uint32_t Id;
+  };
+  std::vector<Snapshot> Snapshots;
+  Snapshots.reserve(Entities.size());
+  std::map<CellKey, std::vector<uint32_t>> Grid;
+  float InvCell = 1.0f / Params.CellSize;
+  for (uint32_t I = 0, E = Entities.size(); I != E; ++I) {
+    auto Ptr = Entities.entity(I);
+    Vec3 Position = Ptr.field<Vec3>(offsetof(GameEntity, Position)).hostRead(M);
+    float Radius = Ptr.field<float>(offsetof(GameEntity, Radius)).hostRead(M);
+    Snapshots.push_back(Snapshot{Position, Radius, I});
+    CellKey Key{static_cast<int32_t>(std::floor(Position.X * InvCell)),
+                static_cast<int32_t>(std::floor(Position.Y * InvCell)),
+                static_cast<int32_t>(std::floor(Position.Z * InvCell))};
+    Grid[Key].push_back(I);
+    M.hostCompute(Params.CyclesPerHash);
+  }
+
+  // Candidate pairs: within a cell, and against the 13 "forward"
+  // neighbour cells so each unordered cell pair is visited once.
+  static constexpr int32_t Forward[13][3] = {
+      {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},  {1, -1, 0},
+      {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1}, {1, 1, 1},
+      {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+
+  std::vector<CollisionPair> Pairs;
+  auto Consider = [&](uint32_t A, uint32_t B) {
+    M.hostCompute(Params.CyclesPerPairTest);
+    const Snapshot &SA = Snapshots[A];
+    const Snapshot &SB = Snapshots[B];
+    // Coarse test with margin; the narrowphase does the exact test.
+    if (!spheresOverlap(SA.Position, SA.Radius * 1.2f, SB.Position,
+                        SB.Radius * 1.2f))
+      return;
+    CollisionPair Pair;
+    uint32_t First = std::min(SA.Id, SB.Id);
+    uint32_t Second = std::max(SA.Id, SB.Id);
+    Pair.FirstAddr = Entities.entity(First).addr().Value;
+    Pair.SecondAddr = Entities.entity(Second).addr().Value;
+    Pair.FirstId = First;
+    Pair.SecondId = Second;
+    Pairs.push_back(Pair);
+  };
+
+  for (const auto &[Key, Cell] : Grid) {
+    for (size_t A = 0; A != Cell.size(); ++A)
+      for (size_t B = A + 1; B != Cell.size(); ++B)
+        Consider(Cell[A], Cell[B]);
+    for (const auto &Offset : Forward) {
+      CellKey Neighbour{Key.X + Offset[0], Key.Y + Offset[1],
+                        Key.Z + Offset[2]};
+      auto It = Grid.find(Neighbour);
+      if (It == Grid.end())
+        continue;
+      for (uint32_t A : Cell)
+        for (uint32_t B : It->second)
+          Consider(A, B);
+    }
+  }
+  return Pairs;
+}
+
+std::vector<CollisionPair>
+omm::game::detectContactsHost(const EntityStore &Entities,
+                              const std::vector<CollisionPair> &Candidates,
+                              const CollisionParams &Params) {
+  Machine &M = Entities.machine();
+  std::vector<CollisionPair> Contacts;
+  for (const CollisionPair &Pair : Candidates) {
+    auto First = Entities.entity(Pair.FirstId);
+    auto Second = Entities.entity(Pair.SecondId);
+    Vec3 PosA = First.field<Vec3>(offsetof(GameEntity, Position)).hostRead(M);
+    float RadA = First.field<float>(offsetof(GameEntity, Radius)).hostRead(M);
+    Vec3 PosB =
+        Second.field<Vec3>(offsetof(GameEntity, Position)).hostRead(M);
+    float RadB =
+        Second.field<float>(offsetof(GameEntity, Radius)).hostRead(M);
+    M.hostCompute(Params.CyclesPerPairTest);
+    if (spheresOverlap(PosA, RadA, PosB, RadB))
+      Contacts.push_back(Pair);
+  }
+  return Contacts;
+}
+
+GlobalAddr omm::game::materializePairs(Machine &M,
+                                       const std::vector<CollisionPair> &Pairs) {
+  uint64_t Bytes = std::max<uint64_t>(Pairs.size(), 1) * sizeof(CollisionPair);
+  GlobalAddr Base = M.allocGlobal(Bytes);
+  for (size_t I = 0; I != Pairs.size(); ++I)
+    M.mainMemory().writeValue(Base + I * sizeof(CollisionPair), Pairs[I]);
+  return Base;
+}
+
+uint32_t omm::game::narrowphaseHost(EntityStore &Entities,
+                                    const std::vector<CollisionPair> &Pairs,
+                                    const CollisionParams &Params) {
+  Machine &M = Entities.machine();
+  uint32_t Contacts = 0;
+  for (const CollisionPair &Pair : Pairs) {
+    GameEntity First = Entities.read(Pair.FirstId);
+    GameEntity Second = Entities.read(Pair.SecondId);
+    M.hostCompute(Params.CyclesPerResponse);
+    if (respondToCollision(First, Second))
+      ++Contacts;
+    Entities.write(Pair.FirstId, First);
+    Entities.write(Pair.SecondId, Second);
+  }
+  return Contacts;
+}
+
+uint32_t omm::game::narrowphaseOffload(offload::OffloadContext &Ctx,
+                                       GlobalAddr PairsAddr,
+                                       uint32_t PairCount,
+                                       const CollisionParams &Params,
+                                       DmaStyle Style) {
+  // Local staging: the pair record and the two entities (Figure 1's
+  // "GameEntity e1, e2; // Allocated in local store").
+  LocalAddr PairLocal = Ctx.localAlloc(sizeof(CollisionPair));
+  LocalAddr E1 = Ctx.localAlloc(sizeof(GameEntity));
+  LocalAddr E2 = Ctx.localAlloc(sizeof(GameEntity));
+  constexpr unsigned Tag = 1;
+
+  uint32_t Contacts = 0;
+  for (uint32_t I = 0; I != PairCount; ++I) {
+    Ctx.dmaGet(PairLocal, PairsAddr + uint64_t(I) * sizeof(CollisionPair),
+               sizeof(CollisionPair), Tag);
+    Ctx.dmaWait(Tag);
+    auto Pair = Ctx.localRead<CollisionPair>(PairLocal);
+
+    // Fetch the two game entities associated with the collision.
+    switch (Style) {
+    case DmaStyle::OverlappedTags:
+      // dma_get(&e1, ...t); dma_get(&e2, ...t); dma_wait(t);
+      Ctx.dmaGet(E1, GlobalAddr(Pair.FirstAddr), sizeof(GameEntity), Tag);
+      Ctx.dmaGet(E2, GlobalAddr(Pair.SecondAddr), sizeof(GameEntity), Tag);
+      Ctx.dmaWait(Tag);
+      break;
+    case DmaStyle::Serialised:
+      Ctx.dmaGet(E1, GlobalAddr(Pair.FirstAddr), sizeof(GameEntity), Tag);
+      Ctx.dmaWait(Tag);
+      Ctx.dmaGet(E2, GlobalAddr(Pair.SecondAddr), sizeof(GameEntity), Tag);
+      Ctx.dmaWait(Tag);
+      break;
+    case DmaStyle::MissingWait:
+      // The Figure 1 bug class: reading e1/e2 before dma_wait.
+      Ctx.dmaGet(E1, GlobalAddr(Pair.FirstAddr), sizeof(GameEntity), Tag);
+      Ctx.dmaGet(E2, GlobalAddr(Pair.SecondAddr), sizeof(GameEntity), Tag);
+      break;
+    case DmaStyle::DmaList: {
+      // getl: both entities in one scatter/gather command.
+      sim::DmaEngine::ListElement Elements[2] = {
+          {E1, GlobalAddr(Pair.FirstAddr), sizeof(GameEntity)},
+          {E2, GlobalAddr(Pair.SecondAddr), sizeof(GameEntity)}};
+      Ctx.dmaGetList(Elements, 2, Tag);
+      Ctx.dmaWait(Tag);
+      break;
+    }
+    }
+
+    auto First = Ctx.localRead<GameEntity>(E1);
+    auto Second = Ctx.localRead<GameEntity>(E2);
+    if (Style == DmaStyle::MissingWait)
+      Ctx.dmaWait(Tag); // Late wait: the damage (race) is already done.
+
+    Ctx.compute(Params.CyclesPerResponse);
+    if (respondToCollision(First, Second))
+      ++Contacts;
+    Ctx.localWrite(E1, First);
+    Ctx.localWrite(E2, Second);
+
+    // Write back updated entities.
+    if (Style == DmaStyle::DmaList) {
+      sim::DmaEngine::ListElement Elements[2] = {
+          {E1, GlobalAddr(Pair.FirstAddr), sizeof(GameEntity)},
+          {E2, GlobalAddr(Pair.SecondAddr), sizeof(GameEntity)}};
+      Ctx.dmaPutList(Elements, 2, Tag);
+    } else {
+      Ctx.dmaPut(GlobalAddr(Pair.FirstAddr), E1, sizeof(GameEntity), Tag);
+      Ctx.dmaPut(GlobalAddr(Pair.SecondAddr), E2, sizeof(GameEntity),
+                 Tag);
+    }
+    // Wait before the buffers are reused by the next iteration (and so
+    // a later get of the same entity cannot race these puts).
+    Ctx.dmaWait(Tag);
+  }
+  return Contacts;
+}

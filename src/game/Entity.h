@@ -1,0 +1,108 @@
+//===- game/Entity.h - Game entity data ------------------------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GameEntity of the paper's Figure 1: a POD record small enough
+/// that "tasks perform complex processing on relatively small numbers of
+/// objects (100's - 1000's)" and sized to a multiple of the DMA
+/// alignment so single-entity transfers are legal MFC requests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_GAME_ENTITY_H
+#define OMM_GAME_ENTITY_H
+
+#include "game/Math.h"
+
+#include <cstdint>
+#include <type_traits>
+
+namespace omm::game {
+
+/// Coarse behavioural category of an entity; drives AI decisions and
+/// collision response mass.
+enum class EntityKind : uint32_t {
+  Soldier,
+  Vehicle,
+  Projectile,
+  Civilian,
+  Pickup,
+};
+inline constexpr unsigned NumEntityKinds = 5;
+
+/// High-level AI state machine states (Section 4's "game AI" task).
+enum class AiState : uint32_t {
+  Idle,
+  Patrol,
+  Seek,
+  Attack,
+  Flee,
+};
+
+/// One game entity: 64 bytes, trivially copyable, 16-byte multiple.
+struct GameEntity {
+  Vec3 Position;
+  float Radius;
+
+  Vec3 Velocity;
+  float Health;
+
+  uint32_t Id;
+  EntityKind Kind;
+  AiState State;
+  uint32_t TargetId; ///< Entity id the AI is tracking, or ~0u.
+
+  float Speed;      ///< Preferred movement speed.
+  float Aggression; ///< [0,1]; biases Attack over Flee.
+  float Cooldown;   ///< Seconds until the next AI re-plan.
+  uint32_t HitCount;
+
+  /// Mixes every field into \p Hash (bit-exact state checksums).
+  uint64_t mixInto(uint64_t Hash) const {
+    Hash = hashMix(Hash, Position.X);
+    Hash = hashMix(Hash, Position.Y);
+    Hash = hashMix(Hash, Position.Z);
+    Hash = hashMix(Hash, Radius);
+    Hash = hashMix(Hash, Velocity.X);
+    Hash = hashMix(Hash, Velocity.Y);
+    Hash = hashMix(Hash, Velocity.Z);
+    Hash = hashMix(Hash, Health);
+    Hash = hashMix(Hash, Id);
+    Hash = hashMix(Hash, static_cast<uint32_t>(Kind));
+    Hash = hashMix(Hash, static_cast<uint32_t>(State));
+    Hash = hashMix(Hash, TargetId);
+    Hash = hashMix(Hash, Speed);
+    Hash = hashMix(Hash, Aggression);
+    Hash = hashMix(Hash, Cooldown);
+    Hash = hashMix(Hash, HitCount);
+    return Hash;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<GameEntity>,
+              "entities move by DMA");
+static_assert(sizeof(GameEntity) == 64, "entity layout is part of the ABI");
+static_assert(sizeof(GameEntity) % 16 == 0,
+              "entity transfers must be legal MFC sizes");
+
+/// Sentinel for "no target".
+inline constexpr uint32_t NoTarget = ~0u;
+
+/// A detected potential collision: the addresses of the two entities, as
+/// in Figure 1's collisionPair->first / ->second.
+struct CollisionPair {
+  uint64_t FirstAddr;
+  uint64_t SecondAddr;
+  uint32_t FirstId;
+  uint32_t SecondId;
+  uint32_t Pad[2] = {0, 0};
+};
+static_assert(sizeof(CollisionPair) == 32 && sizeof(CollisionPair) % 16 == 0);
+
+} // namespace omm::game
+
+#endif // OMM_GAME_ENTITY_H

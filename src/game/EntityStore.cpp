@@ -1,0 +1,81 @@
+//===- game/EntityStore.cpp - Entities in simulated main memory ----------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/EntityStore.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+EntityStore::EntityStore(Machine &M, uint32_t Count, uint64_t Seed,
+                         float WorldHalfExtent)
+    : M(M), Count(Count), HalfExtent(WorldHalfExtent) {
+  assert(Count != 0 && "empty world");
+  Base = M.allocGlobal(uint64_t(Count) * sizeof(GameEntity));
+
+  SplitMix64 Rng(Seed);
+  for (uint32_t I = 0; I != Count; ++I) {
+    GameEntity E{};
+    E.Position = Vec3(Rng.nextFloatInRange(-HalfExtent, HalfExtent),
+                      Rng.nextFloatInRange(-HalfExtent, HalfExtent),
+                      Rng.nextFloatInRange(-HalfExtent, HalfExtent));
+    E.Radius = Rng.nextFloatInRange(0.5f, 2.0f);
+    E.Velocity = Vec3(Rng.nextFloatInRange(-1.0f, 1.0f),
+                      Rng.nextFloatInRange(-1.0f, 1.0f),
+                      Rng.nextFloatInRange(-1.0f, 1.0f));
+    E.Health = Rng.nextFloatInRange(20.0f, 100.0f);
+    E.Id = I;
+    E.Kind = static_cast<EntityKind>(Rng.nextBelow(NumEntityKinds));
+    E.State = AiState::Idle;
+    E.TargetId = NoTarget;
+    E.Speed = Rng.nextFloatInRange(1.0f, 8.0f);
+    E.Aggression = Rng.nextFloat();
+    E.Cooldown = 0.0f;
+    E.HitCount = 0;
+    M.mainMemory().writeValue(Base + uint64_t(I) * sizeof(GameEntity), E);
+  }
+}
+
+EntityStore::~EntityStore() { M.freeGlobal(Base); }
+
+offload::OuterPtr<GameEntity> EntityStore::entity(uint32_t Index) const {
+  assert(Index < Count && "entity index out of range");
+  return offload::OuterPtr<GameEntity>(Base +
+                                       uint64_t(Index) * sizeof(GameEntity));
+}
+
+GameEntity EntityStore::read(uint32_t Index) const {
+  assert(Index < Count && "entity index out of range");
+  return M.hostRead<GameEntity>(Base + uint64_t(Index) * sizeof(GameEntity));
+}
+
+void EntityStore::write(uint32_t Index, const GameEntity &E) {
+  assert(Index < Count && "entity index out of range");
+  M.hostWrite(Base + uint64_t(Index) * sizeof(GameEntity), E);
+}
+
+GameEntity EntityStore::peek(uint32_t Index) const {
+  assert(Index < Count && "entity index out of range");
+  return M.mainMemory().readValue<GameEntity>(
+      Base + uint64_t(Index) * sizeof(GameEntity));
+}
+
+void EntityStore::poke(uint32_t Index, const GameEntity &E) {
+  assert(Index < Count && "entity index out of range");
+  M.mainMemory().writeValue(Base + uint64_t(Index) * sizeof(GameEntity), E);
+}
+
+uint64_t EntityStore::checksum() const {
+  uint64_t Hash = 0xCBF29CE484222325ull;
+  for (uint32_t I = 0; I != Count; ++I)
+    Hash = peek(I).mixInto(Hash);
+  return Hash;
+}

@@ -1,0 +1,73 @@
+//===- game/EntityStore.h - Entities in simulated main memory --*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the contiguous array of GameEntity records in the simulated main
+/// memory — game state lives in the outer space, and accelerators reach
+/// it by DMA. Provides host-side (costed) access, entity spawning with a
+/// seeded generator, and the bit-exact world checksum the portability
+/// tests compare across execution paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_GAME_ENTITYSTORE_H
+#define OMM_GAME_ENTITYSTORE_H
+
+#include "game/Entity.h"
+#include "offload/Ptr.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+
+namespace omm::game {
+
+/// The world's entity array, resident in outer memory.
+class EntityStore {
+public:
+  /// Spawns \p Count entities with positions/kinds drawn from \p Seed
+  /// inside a cube of half-extent \p WorldHalfExtent.
+  EntityStore(sim::Machine &M, uint32_t Count, uint64_t Seed,
+              float WorldHalfExtent = 100.0f);
+  ~EntityStore();
+
+  EntityStore(const EntityStore &) = delete;
+  EntityStore &operator=(const EntityStore &) = delete;
+
+  uint32_t size() const { return Count; }
+  float worldHalfExtent() const { return HalfExtent; }
+
+  /// Outer pointer to entity \p Index.
+  offload::OuterPtr<GameEntity> entity(uint32_t Index) const;
+
+  /// Outer pointer to the start of the array (for bulk/streamed passes).
+  offload::OuterPtr<GameEntity> base() const {
+    return offload::OuterPtr<GameEntity>(Base);
+  }
+
+  /// Host-side (costed) load/store of one entity.
+  GameEntity read(uint32_t Index) const;
+  void write(uint32_t Index, const GameEntity &E);
+
+  /// Uncosted accessors for test setup and verification only.
+  GameEntity peek(uint32_t Index) const;
+  void poke(uint32_t Index, const GameEntity &E);
+
+  /// Bit-exact checksum over all entities (uncosted; verification only).
+  uint64_t checksum() const;
+
+  sim::Machine &machine() const { return M; }
+
+private:
+  sim::Machine &M;
+  uint32_t Count;
+  float HalfExtent;
+  sim::GlobalAddr Base;
+};
+
+} // namespace omm::game
+
+#endif // OMM_GAME_ENTITYSTORE_H

@@ -1,0 +1,213 @@
+//===- game/GameWorld.cpp - The per-frame task schedule ------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/GameWorld.h"
+
+#include "offload/DoubleBuffer.h"
+#include "offload/Offload.h"
+#include "offload/SetAssociativeCache.h"
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+GameWorld::GameWorld(Machine &M, const GameWorldParams &Params)
+    : M(M), Params(Params),
+      Entities(M, Params.NumEntities, Params.Seed, Params.WorldHalfExtent),
+      Anim(M, Params.NumEntities) {
+  Snapshot = M.allocGlobal(uint64_t(Params.NumEntities) *
+                           sizeof(TargetInfo));
+}
+
+GameWorld::~GameWorld() { M.freeGlobal(Snapshot); }
+
+uint64_t GameWorld::checksum() const {
+  uint64_t Hash = Entities.checksum();
+  return Hash ^ Anim.checksum();
+}
+
+void GameWorld::buildTargetSnapshot() {
+  uint32_t Count = Entities.size();
+  for (uint32_t I = 0; I != Count; ++I) {
+    auto Ptr = Entities.entity(I);
+    TargetInfo Info;
+    Info.Position =
+        Ptr.field<Vec3>(offsetof(GameEntity, Position)).hostRead(M);
+    Info.Id = I;
+    M.hostWrite(Snapshot + uint64_t(I) * sizeof(TargetInfo), Info);
+  }
+}
+
+void GameWorld::aiPassHost() {
+  uint32_t Count = Entities.size();
+  for (uint32_t I = 0; I != Count; ++I) {
+    GameEntity Self = Entities.read(I);
+    TargetInfo Target = M.hostRead<TargetInfo>(
+        Snapshot + uint64_t(defaultTargetFor(I, Count)) *
+                       sizeof(TargetInfo));
+    AiDecision Decision =
+        calculateStrategy(Self, Target, Params.Dt, Params.Ai);
+    M.hostCompute(uint64_t(Decision.NodesEvaluated) *
+                  Params.Ai.CyclesPerNode);
+    Entities.write(I, Self);
+  }
+}
+
+void GameWorld::aiPassOffload(offload::OffloadContext &Ctx, uint32_t Begin,
+                              uint32_t End) {
+  uint32_t Count = Entities.size();
+  auto Base = Entities.base() + Begin;
+  offload::OuterPtr<TargetInfo> Targets(Snapshot);
+  float Dt = Params.Dt;
+  const AiParams &Ai = Params.Ai;
+
+  // Target snapshots are a random-access, read-only pattern with
+  // temporal re-use (several entities track the same target): route
+  // those reads through an associative software cache — "the programmer
+  // must decide, based on profiling, which cache is most suitable for a
+  // given offload" (Section 4.2).
+  offload::SetAssociativeCache TargetCache(
+      Ctx, offload::SetAssociativeCache::Params{128, 32, 4, 16});
+  Ctx.bindCache(&TargetCache);
+
+  bool Prefetch = Params.PrefetchAiTargets;
+  offload::transformDoubleBuffered<GameEntity>(
+      Ctx, Base, End - Begin, Params.AiChunkElems,
+      [&](offload::ChunkView<GameEntity> &Chunk) {
+        for (uint32_t I = 0, E = Chunk.size(); I != E; ++I) {
+          // Overlap the next target's cache fill with this entity's
+          // decision making (entity ids equal array indices, so the
+          // next target is computable without touching memory).
+          uint32_t Global = Begin + Chunk.firstIndex() + I;
+          if (Prefetch && Global + 1 < Count)
+            TargetCache.prefetch(
+                (Targets + defaultTargetFor(Global + 1, Count)).addr());
+
+          GameEntity Self = Chunk.get(I);
+          uint32_t TargetId = defaultTargetFor(Self.Id, Count);
+          TargetInfo Target = (Targets + TargetId).read(Ctx);
+          AiDecision Decision = calculateStrategy(Self, Target, Dt, Ai);
+          Ctx.compute(uint64_t(Decision.NodesEvaluated) * Ai.CyclesPerNode);
+          Chunk.set(I, Self);
+        }
+      });
+
+  Ctx.bindCache(nullptr);
+}
+
+void GameWorld::collisionPassHost(FrameStats &Stats) {
+  std::vector<CollisionPair> Candidates =
+      broadphaseHost(Entities, Params.Collision);
+  std::vector<CollisionPair> Contacts =
+      detectContactsHost(Entities, Candidates, Params.Collision);
+  Stats.PairsTested = static_cast<uint32_t>(Candidates.size());
+
+  // The response itself belongs to updateEntities (it mutates state the
+  // offloaded AI also owns); stash the contacts for it.
+  PendingContacts = std::move(Contacts);
+}
+
+void GameWorld::updateAndRender(FrameStats &Stats) {
+  uint64_t Start = M.hostClock().now();
+
+  Stats.Contacts = narrowphaseHost(Entities, PendingContacts,
+                                   Params.Collision);
+  PendingContacts.clear();
+  physicsPassHost(Entities, Params.Dt, Params.Physics);
+  Anim.blendPassHost(Frame, Params.Animation);
+  Stats.UpdateCycles = M.hostClock().now() - Start;
+
+  // renderFrame: command submission cost on the host.
+  Start = M.hostClock().now();
+  M.hostCompute(uint64_t(Entities.size()) * Params.RenderCyclesPerEntity);
+  Stats.RenderCycles = M.hostClock().now() - Start;
+}
+
+FrameStats GameWorld::doFrameHostOnly() {
+  FrameStats Stats;
+  uint64_t FrameStart = M.hostClock().now();
+
+  uint64_t Start = M.hostClock().now();
+  buildTargetSnapshot();
+  aiPassHost();
+  Stats.AiCycles = M.hostClock().now() - Start;
+
+  Start = M.hostClock().now();
+  collisionPassHost(Stats);
+  Stats.CollisionCycles = M.hostClock().now() - Start;
+
+  updateAndRender(Stats);
+
+  ++Frame;
+  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  return Stats;
+}
+
+FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
+  FrameStats Stats;
+  uint64_t FrameStart = M.hostClock().now();
+
+  buildTargetSnapshot();
+
+  // One offload block per accelerator, each owning a contiguous slice.
+  unsigned Workers = std::min(
+      {M.numAccelerators(), MaxAccelerators, Entities.size()});
+  offload::OffloadGroup Group;
+  uint32_t PerWorker = Entities.size() / Workers;
+  uint32_t Remainder = Entities.size() % Workers;
+  uint32_t Begin = 0;
+  uint64_t LastFinish = FrameStart;
+  for (unsigned W = 0; W != Workers; ++W) {
+    uint32_t End = Begin + PerWorker + (W < Remainder ? 1 : 0);
+    Group.launchOn(M, W, [&, Begin, End](offload::OffloadContext &Ctx) {
+      aiPassOffload(Ctx, Begin, End);
+    });
+    LastFinish = std::max(LastFinish, M.accel(W).FreeAt);
+    Begin = End;
+  }
+  Stats.AiCycles = LastFinish - FrameStart;
+
+  uint64_t Start = M.hostClock().now();
+  collisionPassHost(Stats);
+  Stats.CollisionCycles = M.hostClock().now() - Start;
+
+  Group.joinAll(M);
+  updateAndRender(Stats);
+
+  ++Frame;
+  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  return Stats;
+}
+
+FrameStats GameWorld::doFrameOffloadAI(unsigned AccelId) {
+  FrameStats Stats;
+  uint64_t FrameStart = M.hostClock().now();
+
+  // The AI inputs are snapshotted before the offload launches.
+  buildTargetSnapshot();
+
+  // __offload { this->calculateStrategy(...); }
+  offload::OffloadHandle Handle = offload::offloadBlock(
+      M, AccelId, [&](offload::OffloadContext &Ctx) {
+        aiPassOffload(Ctx, 0, Entities.size());
+      });
+  Stats.AiCycles = Handle.CompleteAt - FrameStart;
+
+  // Executed in parallel by host.
+  uint64_t Start = M.hostClock().now();
+  collisionPassHost(Stats);
+  Stats.CollisionCycles = M.hostClock().now() - Start;
+
+  // __offload_join(h);
+  offload::offloadJoin(M, Handle);
+
+  updateAndRender(Stats);
+
+  ++Frame;
+  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  return Stats;
+}

@@ -1,0 +1,131 @@
+//===- game/GameWorld.h - The per-frame task schedule ----------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 2's GameWorld::doFrame: "computation is specified as parallel,
+/// distinct tasks with well defined synchronisation points executing in
+/// a pre-defined and fixed schedule each frame" (Section 4). Two
+/// schedules are provided:
+///
+///   doFrameHostOnly   : calculateStrategy; detectCollisions;
+///                       updateEntities; renderFrame — all on the host.
+///   doFrameOffloadAI  : the Figure 2 schedule — strategy calculation in
+///                       an offload block, collision detection on the
+///                       host in parallel, join, then update and render.
+///
+/// Both produce bit-identical world state; the difference is frame time,
+/// which experiment E2 compares against the paper's "~50% performance
+/// increase" claim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_GAME_GAMEWORLD_H
+#define OMM_GAME_GAMEWORLD_H
+
+#include "game/AI.h"
+#include "game/Animation.h"
+#include "game/Collision.h"
+#include "game/EntityStore.h"
+#include "game/Physics.h"
+
+#include <cstdint>
+
+namespace omm::game {
+
+/// All frame-level tuning in one place.
+struct GameWorldParams {
+  uint32_t NumEntities = 1000;
+  uint64_t Seed = 0x0FF10AD;
+  float WorldHalfExtent = 60.0f;
+  float Dt = 1.0f / 30.0f;
+  AiParams Ai;
+  CollisionParams Collision;
+  PhysicsParams Physics;
+  AnimationParams Animation;
+  uint64_t RenderCyclesPerEntity = 150; ///< Host-side render submission.
+  uint32_t AiChunkElems = 32; ///< Double-buffer chunk for offloaded AI.
+  /// When true the offloaded AI pass issues an asynchronous cache
+  /// prefetch for the *next* entity's target snapshot while processing
+  /// the current one (the Balart-style async cache elaboration;
+  /// ablation E8).
+  bool PrefetchAiTargets = false;
+};
+
+/// Timing breakdown of one frame (simulated cycles).
+struct FrameStats {
+  uint64_t FrameCycles = 0;
+  uint64_t AiCycles = 0;        ///< Wall time of the AI stage (either core).
+  uint64_t CollisionCycles = 0; ///< Host broadphase + narrowphase.
+  uint64_t UpdateCycles = 0;    ///< Physics + animation.
+  uint64_t RenderCycles = 0;
+  uint32_t PairsTested = 0;
+  uint32_t Contacts = 0;
+};
+
+/// The game world: entities, poses, and the fixed frame schedule.
+class GameWorld {
+public:
+  GameWorld(sim::Machine &M, const GameWorldParams &Params);
+  ~GameWorld();
+
+  sim::Machine &machine() { return M; }
+  EntityStore &entities() { return Entities; }
+  AnimationSystem &animation() { return Anim; }
+  const GameWorldParams &params() const { return Params; }
+
+  /// Runs one frame entirely on the host. \returns its timing breakdown.
+  FrameStats doFrameHostOnly();
+
+  /// Runs one frame with AI offloaded (Figure 2): the offload block runs
+  /// calculateStrategy for all entities while the host detects
+  /// collisions; the join precedes updateEntities.
+  FrameStats doFrameOffloadAI(unsigned AccelId = 0);
+
+  /// As doFrameOffloadAI, but the AI pass is split over up to
+  /// \p MaxAccelerators accelerators (each double-buffering its own
+  /// entity slice with its own target cache). Bit-identical state.
+  FrameStats doFrameOffloadAiParallel(unsigned MaxAccelerators = ~0u);
+
+  /// Bit-exact world state checksum (entities + poses).
+  uint64_t checksum() const;
+
+  uint32_t frameIndex() const { return Frame; }
+
+private:
+  /// Builds the per-frame TargetInfo snapshot on the host (both
+  /// schedules run this as the first step of the AI stage).
+  void buildTargetSnapshot();
+
+  /// Host-side AI pass (reads targets with ordinary loads).
+  void aiPassHost();
+
+  /// Accelerator-side AI pass over [Begin, End): streams entities
+  /// double-buffered, reads target snapshots through a software cache
+  /// (random access).
+  void aiPassOffload(offload::OffloadContext &Ctx, uint32_t Begin,
+                     uint32_t End);
+
+  /// detectCollisions: broadphase + narrowphase on the host.
+  void collisionPassHost(FrameStats &Stats);
+
+  /// updateEntities + renderFrame (host).
+  void updateAndRender(FrameStats &Stats);
+
+  sim::Machine &M;
+  GameWorldParams Params;
+  EntityStore Entities;
+  AnimationSystem Anim;
+  uint32_t Frame = 0;
+  /// Per-frame immutable target snapshot (TargetInfo per entity).
+  sim::GlobalAddr Snapshot;
+  /// Contacts detected this frame, resolved in updateEntities.
+  std::vector<CollisionPair> PendingContacts;
+};
+
+} // namespace omm::game
+
+#endif // OMM_GAME_GAMEWORLD_H

@@ -1,0 +1,118 @@
+//===- game/Math.h - Minimal game vector math ------------------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small, POD vector math a game workload needs. Everything is
+/// trivially copyable so it can live in the simulated memory spaces and
+/// move by DMA; all operations are deterministic so the host path and
+/// every offloaded path produce bit-identical game state (the
+/// portability invariant the integration tests check).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_GAME_MATH_H
+#define OMM_GAME_MATH_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace omm::game {
+
+/// Three-component float vector.
+struct Vec3 {
+  float X = 0.0f;
+  float Y = 0.0f;
+  float Z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float X, float Y, float Z) : X(X), Y(Y), Z(Z) {}
+
+  constexpr Vec3 operator+(const Vec3 &V) const {
+    return Vec3(X + V.X, Y + V.Y, Z + V.Z);
+  }
+  constexpr Vec3 operator-(const Vec3 &V) const {
+    return Vec3(X - V.X, Y - V.Y, Z - V.Z);
+  }
+  constexpr Vec3 operator*(float S) const {
+    return Vec3(X * S, Y * S, Z * S);
+  }
+  Vec3 &operator+=(const Vec3 &V) {
+    X += V.X;
+    Y += V.Y;
+    Z += V.Z;
+    return *this;
+  }
+  Vec3 &operator-=(const Vec3 &V) {
+    X -= V.X;
+    Y -= V.Y;
+    Z -= V.Z;
+    return *this;
+  }
+
+  constexpr float dot(const Vec3 &V) const {
+    return X * V.X + Y * V.Y + Z * V.Z;
+  }
+  constexpr float lengthSq() const { return dot(*this); }
+  float length() const { return std::sqrt(lengthSq()); }
+
+  /// \returns this vector scaled to unit length, or zero if degenerate.
+  Vec3 normalized() const {
+    float Len = length();
+    if (Len < 1e-12f)
+      return Vec3();
+    return *this * (1.0f / Len);
+  }
+
+  constexpr bool operator==(const Vec3 &) const = default;
+};
+
+/// Axis-aligned bounding box.
+struct AABB {
+  Vec3 Min;
+  Vec3 Max;
+
+  constexpr bool contains(const Vec3 &P) const {
+    return P.X >= Min.X && P.X <= Max.X && P.Y >= Min.Y && P.Y <= Max.Y &&
+           P.Z >= Min.Z && P.Z <= Max.Z;
+  }
+
+  constexpr bool overlaps(const AABB &B) const {
+    return Min.X <= B.Max.X && B.Min.X <= Max.X && Min.Y <= B.Max.Y &&
+           B.Min.Y <= Max.Y && Min.Z <= B.Max.Z && B.Min.Z <= Max.Z;
+  }
+};
+
+/// \returns true if two spheres intersect.
+inline bool spheresOverlap(const Vec3 &CenterA, float RadiusA,
+                           const Vec3 &CenterB, float RadiusB) {
+  float R = RadiusA + RadiusB;
+  return (CenterA - CenterB).lengthSq() <= R * R;
+}
+
+/// Clamps \p Value to [Lo, Hi].
+constexpr float clampf(float Value, float Lo, float Hi) {
+  return Value < Lo ? Lo : (Value > Hi ? Hi : Value);
+}
+
+/// Mixes a float into a rolling FNV-style checksum (bit-exact state
+/// comparison across execution paths).
+inline uint64_t hashMix(uint64_t Hash, float Value) {
+  uint32_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  __builtin_memcpy(&Bits, &Value, sizeof(Bits));
+  Hash ^= Bits;
+  return Hash * 0x100000001B3ull;
+}
+
+inline uint64_t hashMix(uint64_t Hash, uint32_t Value) {
+  Hash ^= Value;
+  return Hash * 0x100000001B3ull;
+}
+
+} // namespace omm::game
+
+#endif // OMM_GAME_MATH_H

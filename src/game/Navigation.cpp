@@ -1,0 +1,177 @@
+//===- game/Navigation.cpp - Grid pathfinding ------------------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/Navigation.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+NavGrid::NavGrid(Machine &M, uint32_t Width, uint32_t Height, uint64_t Seed)
+    : M(M), Width(Width), Height(Height) {
+  assert(Width >= 4 && Height >= 4 && "grid implausibly small");
+  Base = M.allocGlobal(uint64_t(numCells()) * sizeof(uint16_t));
+
+  SplitMix64 Rng(Seed);
+  for (uint32_t Cell = 0; Cell != numCells(); ++Cell)
+    poke(Cell, static_cast<uint16_t>(1 + Rng.nextBelow(9)));
+
+  // Obstacle blobs: rectangular walls that force detours.
+  unsigned NumBlobs = numCells() / 256;
+  for (unsigned Blob = 0; Blob != NumBlobs; ++Blob) {
+    uint32_t X0 = static_cast<uint32_t>(Rng.nextBelow(Width - 2));
+    uint32_t Y0 = static_cast<uint32_t>(Rng.nextBelow(Height - 2));
+    uint32_t W = 1 + static_cast<uint32_t>(Rng.nextBelow(Width / 8 + 1));
+    uint32_t H = 1 + static_cast<uint32_t>(Rng.nextBelow(Height / 8 + 1));
+    for (uint32_t Y = Y0; Y < std::min(Height, Y0 + H); ++Y)
+      for (uint32_t X = X0; X < std::min(Width, X0 + W); ++X)
+        poke(cellOf(X, Y), Wall);
+  }
+
+  // Keep the canonical endpoints clear.
+  poke(cellOf(0, 0), 1);
+  poke(cellOf(Width - 1, Height - 1), 1);
+}
+
+NavGrid::~NavGrid() { M.freeGlobal(Base); }
+
+uint16_t NavGrid::peek(uint32_t Cell) const {
+  assert(Cell < numCells() && "cell out of range");
+  return M.mainMemory().readValue<uint16_t>(cellAddr(Cell));
+}
+
+void NavGrid::poke(uint32_t Cell, uint16_t Cost) {
+  assert(Cell < numCells() && "cell out of range");
+  M.mainMemory().writeValue(cellAddr(Cell), Cost);
+}
+
+namespace {
+
+/// Deterministic A* core, parameterised over how terrain is read and
+/// how compute is charged. The search bookkeeping (g-scores, parents,
+/// closed set, open heap) is the searcher's private working set; its
+/// access costs are subsumed into the expand/neighbour charges of
+/// NavParams, while terrain reads are explicit memory traffic.
+template <typename ReadCostFn, typename ComputeFn>
+PathResult runAStar(const NavGrid &Grid, uint32_t Start, uint32_t Goal,
+                    const NavParams &Params, ReadCostFn &&ReadCost,
+                    ComputeFn &&Compute) {
+  PathResult Result;
+  uint32_t Cells = Grid.numCells();
+  assert(Start < Cells && Goal < Cells && "endpoint off the grid");
+
+  constexpr uint32_t NoParent = ~0u;
+  constexpr uint32_t Infinity = ~0u;
+  std::vector<uint32_t> GScore(Cells, Infinity);
+  std::vector<uint32_t> Parent(Cells, NoParent);
+  std::vector<bool> Closed(Cells, false);
+
+  uint32_t GoalX = Goal % Grid.width();
+  uint32_t GoalY = Goal / Grid.width();
+  auto Heuristic = [&](uint32_t Cell) {
+    uint32_t X = Cell % Grid.width();
+    uint32_t Y = Cell / Grid.width();
+    uint32_t Dx = X > GoalX ? X - GoalX : GoalX - X;
+    uint32_t Dy = Y > GoalY ? Y - GoalY : GoalY - Y;
+    return Dx + Dy; // Admissible: minimum terrain cost is 1.
+  };
+
+  // Min-heap keyed on (f, cell) — the cell id as tie-break keeps the
+  // expansion order identical on every execution path.
+  using HeapKey = uint64_t;
+  auto keyFor = [](uint32_t F, uint32_t Cell) {
+    return (HeapKey(F) << 32) | Cell;
+  };
+  std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<>> Open;
+
+  GScore[Start] = 0;
+  Open.push(keyFor(Heuristic(Start), Start));
+
+  while (!Open.empty()) {
+    HeapKey Key = Open.top();
+    Open.pop();
+    uint32_t Cell = static_cast<uint32_t>(Key & 0xFFFFFFFFu);
+    Compute(Params.CyclesPerExpand);
+    if (Closed[Cell])
+      continue; // Stale heap entry.
+    Closed[Cell] = true;
+    ++Result.CellsExpanded;
+
+    if (Cell == Goal)
+      break;
+
+    uint32_t X = Cell % Grid.width();
+    uint32_t Y = Cell / Grid.width();
+    const int32_t Steps[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    for (const auto &Step : Steps) {
+      int64_t Nx = int64_t(X) + Step[0];
+      int64_t Ny = int64_t(Y) + Step[1];
+      if (Nx < 0 || Ny < 0 || Nx >= Grid.width() || Ny >= Grid.height())
+        continue;
+      uint32_t Next = Grid.cellOf(static_cast<uint32_t>(Nx),
+                                  static_cast<uint32_t>(Ny));
+      if (Closed[Next])
+        continue;
+      Compute(Params.CyclesPerNeighbour);
+      uint16_t StepCost = ReadCost(Next); // The terrain read.
+      if (StepCost == NavGrid::Wall)
+        continue;
+      uint32_t Tentative = GScore[Cell] + StepCost;
+      if (Tentative < GScore[Next]) {
+        GScore[Next] = Tentative;
+        Parent[Next] = Cell;
+        Open.push(keyFor(Tentative + Heuristic(Next), Next));
+      }
+    }
+  }
+
+  if (GScore[Goal] == Infinity)
+    return Result;
+
+  Result.Found = true;
+  Result.TotalCost = GScore[Goal];
+  for (uint32_t Cell = Goal; Cell != NoParent; Cell = Parent[Cell]) {
+    Result.Path.push_back(Cell);
+    if (Cell == Start)
+      break;
+  }
+  Result.PathLength = static_cast<uint32_t>(Result.Path.size());
+  return Result;
+}
+
+} // namespace
+
+PathResult omm::game::findPathHost(const NavGrid &Grid, uint32_t Start,
+                                   uint32_t Goal, const NavParams &Params) {
+  Machine &M = Grid.machine();
+  return runAStar(
+      Grid, Start, Goal, Params,
+      [&](uint32_t Cell) { return M.hostRead<uint16_t>(Grid.cellAddr(Cell)); },
+      [&](uint64_t Cycles) { M.hostCompute(Cycles); });
+}
+
+PathResult omm::game::findPathOffload(offload::OffloadContext &Ctx,
+                                      const NavGrid &Grid, uint32_t Start,
+                                      uint32_t Goal,
+                                      const NavParams &Params) {
+  // The search's working set occupies local store for the query's
+  // duration (g-scores + parents + closed bits).
+  offload::OffloadContext::LocalScope Scope(Ctx);
+  uint64_t StateBytes = uint64_t(Grid.numCells()) * 9;
+  Ctx.localAlloc(static_cast<uint32_t>(StateBytes));
+
+  return runAStar(
+      Grid, Start, Goal, Params,
+      [&](uint32_t Cell) { return Ctx.outerRead<uint16_t>(Grid.cellAddr(Cell)); },
+      [&](uint64_t Cycles) { Ctx.compute(Cycles); });
+}

@@ -1,0 +1,121 @@
+//===- game/Render.cpp - Render command generation -------------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/Render.h"
+
+#include "game/Math.h"
+#include "offload/DoubleBuffer.h"
+#include "offload/WriteCombiner.h"
+
+#include <cassert>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+uint64_t RenderCommand::mixInto(uint64_t Hash) const {
+  Hash = hashMix(Hash, EntityId);
+  Hash = hashMix(Hash, MaterialId);
+  Hash = hashMix(Hash, Depth);
+  Hash = hashMix(Hash, Scale);
+  Hash = hashMix(Hash, Position[0]);
+  Hash = hashMix(Hash, Position[1]);
+  Hash = hashMix(Hash, Position[2]);
+  Hash = hashMix(Hash, SortKey);
+  return Hash;
+}
+
+bool omm::game::encodeRenderCommand(const GameEntity &Entity,
+                                    const RenderParams &Params,
+                                    RenderCommand &Out) {
+  float Depth = Entity.Position.X * Params.ViewDir[0] +
+                Entity.Position.Y * Params.ViewDir[1] +
+                Entity.Position.Z * Params.ViewDir[2];
+  if (Entity.Position.lengthSq() > Params.CullRadius * Params.CullRadius)
+    return false;
+  if (Entity.Health <= 0.0f)
+    return false; // Dead entities are not drawn.
+
+  Out.EntityId = Entity.Id;
+  Out.MaterialId = static_cast<uint32_t>(Entity.Kind) * 16 +
+                   (Entity.Id % 4); // Material variation per instance.
+  Out.Depth = Depth;
+  Out.Scale = Entity.Radius;
+  Out.Position[0] = Entity.Position.X;
+  Out.Position[1] = Entity.Position.Y;
+  Out.Position[2] = Entity.Position.Z;
+  // Sort key: material in the high bits, quantised depth below — the
+  // usual draw-order key games build.
+  uint32_t DepthBits = static_cast<uint32_t>(
+      clampf(Depth + 2048.0f, 0.0f, 4095.0f) * 4.0f);
+  Out.SortKey = (Out.MaterialId << 16) | (DepthBits & 0xFFFF);
+  return true;
+}
+
+RenderQueue::RenderQueue(Machine &M, uint32_t Capacity)
+    : M(M), Capacity(Capacity) {
+  assert(Capacity != 0 && "empty render queue");
+  Base = M.allocGlobal(uint64_t(Capacity) * sizeof(RenderCommand));
+}
+
+RenderQueue::~RenderQueue() { M.freeGlobal(Base); }
+
+uint32_t RenderQueue::buildHost(const EntityStore &Entities,
+                                const RenderParams &Params) {
+  uint32_t Emitted = 0;
+  for (uint32_t I = 0, E = Entities.size(); I != E; ++I) {
+    GameEntity Entity = Entities.read(I);
+    M.hostCompute(Params.CyclesPerCommand);
+    RenderCommand Command;
+    if (!encodeRenderCommand(Entity, Params, Command))
+      continue;
+    assert(Emitted < Capacity && "render queue overflow");
+    M.hostWrite(Base + uint64_t(Emitted) * sizeof(RenderCommand), Command);
+    ++Emitted;
+  }
+  return Emitted;
+}
+
+uint32_t RenderQueue::buildOffload(offload::OffloadContext &Ctx,
+                                   const EntityStore &Entities,
+                                   const RenderParams &Params,
+                                   uint32_t ChunkElems) {
+  uint32_t Emitted = 0;
+  // Commands stream out through a write-combining cache: consecutive
+  // emits become one large put each time the combiner fills.
+  offload::WriteCombiner Combiner(Ctx, {4096, 4});
+
+  offload::forEachDoubleBuffered<GameEntity>(
+      Ctx, Entities.base(), Entities.size(), ChunkElems,
+      [&](offload::ChunkView<GameEntity> &Chunk) {
+        for (uint32_t I = 0, E = Chunk.size(); I != E; ++I) {
+          GameEntity Entity = Chunk.get(I);
+          Ctx.compute(Params.CyclesPerCommand);
+          RenderCommand Command;
+          if (!encodeRenderCommand(Entity, Params, Command))
+            continue;
+          assert(Emitted < Capacity && "render queue overflow");
+          Combiner.write(Base + uint64_t(Emitted) * sizeof(RenderCommand),
+                         &Command, sizeof(RenderCommand));
+          ++Emitted;
+        }
+      });
+
+  Combiner.flush();
+  return Emitted;
+}
+
+uint64_t RenderQueue::checksum(uint32_t Count) const {
+  assert(Count <= Capacity && "checksum beyond capacity");
+  uint64_t Hash = 0xCBF29CE484222325ull;
+  for (uint32_t I = 0; I != Count; ++I)
+    Hash = M.mainMemory()
+               .readValue<RenderCommand>(Base +
+                                         uint64_t(I) * sizeof(RenderCommand))
+               .mixInto(Hash);
+  return Hash;
+}

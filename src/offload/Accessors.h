@@ -1,0 +1,168 @@
+//===- offload/Accessors.h - Portable data access abstractions -*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Programmers can use portable accessor classes (efficient data access
+/// abstractions) and knowledge of their application's access patterns to
+/// achieve high performance. ... We have interposed an Array data
+/// accessor between the original array, and the code to access that
+/// array. ... it will perform a single, efficient bulk transfer of the
+/// array of pointers into fast local store. Subsequently, it acts like an
+/// array" (Section 4.2).
+///
+/// ArrayAccessor<T> is that Array class: one bulk DMA in on construction
+/// (unless write-only), indexed access against fast local store, and one
+/// bulk DMA out on commit/destruction (unless read-only). On a
+/// shared-memory configuration of the simulated machine the same code
+/// compiles and runs; the transfers just become cheap — "this can be
+/// factored out in the implementation of Array, permitting the use of
+/// this technique on portable code."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_OFFLOAD_ACCESSORS_H
+#define OMM_OFFLOAD_ACCESSORS_H
+
+#include "offload/OffloadContext.h"
+#include "offload/Ptr.h"
+#include "support/Diag.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+namespace omm::offload {
+
+/// How an accessor intends to use the underlying outer data; determines
+/// which bulk transfers happen.
+enum class AccessMode {
+  ReadOnly,  ///< Bulk get on construction; no write-back.
+  WriteOnly, ///< No initial get; bulk put on commit.
+  ReadWrite, ///< Bulk get on construction and bulk put on commit.
+};
+
+/// Bulk-transfer array accessor (the paper's Array<T*, N>).
+///
+/// The accessor owns a local-store copy of Count elements starting at an
+/// outer base address. Element access is charged at local-store cost;
+/// the whole point is that the per-element inter-memory transfer of the
+/// naive loop disappears.
+template <typename T> class ArrayAccessor {
+public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "accessors move trivially copyable data only");
+
+  /// Default bulk-transfer tag; see the allocation note in
+  /// OffloadContext.cpp.
+  static unsigned defaultTag(const OffloadContext &Ctx) {
+    return Ctx.config().NumDmaTags - 3;
+  }
+
+  ArrayAccessor(OffloadContext &Ctx, OuterPtr<T> Base, uint32_t Count,
+                AccessMode Mode = AccessMode::ReadWrite)
+      : Ctx(Ctx), Base(Base), Count(Count), Mode(Mode),
+        Tag(defaultTag(Ctx)) {
+    assert(Count != 0 && "empty accessor");
+    Local = Ctx.localAllocArray<T>(Count);
+    uint64_t Bytes = uint64_t(Count) * sizeof(T);
+    uint64_t Padded = alignTo(Bytes, 16);
+    if (Mode != AccessMode::WriteOnly) {
+      Ctx.dmaGetLarge(Local, Base.addr(), Padded, Tag);
+      Ctx.dmaWait(Tag);
+    } else if (Padded != Bytes) {
+      // Write-only accessors still fetch the final padding quadword so
+      // the padded commit writes back unchanged neighbour bytes.
+      uint64_t TailStart = alignDown(Bytes, 16);
+      Ctx.dmaGet(Local + static_cast<uint32_t>(TailStart),
+                 Base.addr() + TailStart, 16, Tag);
+      Ctx.dmaWait(Tag);
+    }
+  }
+
+  ~ArrayAccessor() { commit(); }
+
+  ArrayAccessor(const ArrayAccessor &) = delete;
+  ArrayAccessor &operator=(const ArrayAccessor &) = delete;
+
+  uint32_t size() const { return Count; }
+
+  /// Reads element \p Index from the local copy.
+  T get(uint32_t Index) const {
+    assert(Index < Count && "accessor index out of range");
+    return Ctx.localRead<T>(Local + Index * sizeof(T));
+  }
+
+  /// Writes element \p Index in the local copy (visible in main memory
+  /// after commit).
+  void set(uint32_t Index, const T &Value) {
+    assert(Index < Count && "accessor index out of range");
+    assert(Mode != AccessMode::ReadOnly &&
+           "writing through a read-only accessor");
+    Ctx.localWrite(Local + Index * sizeof(T), Value);
+  }
+
+  /// Applies \p Fn to element \p Index in place.
+  template <typename Fn> void update(uint32_t Index, Fn &&Fn_) {
+    T Value = get(Index);
+    Fn_(Value);
+    set(Index, Value);
+  }
+
+  /// The local-store address of the copy, for bulk kernels and nested
+  /// DMA (e.g. handing a batch to a double-buffered stage).
+  LocalPtr<T> local() const { return LocalPtr<T>(Local); }
+
+  /// Writes the local copy back to main memory (no-op for read-only
+  /// accessors; idempotent).
+  void commit() {
+    if (Mode == AccessMode::ReadOnly || Committed)
+      return;
+    uint64_t Padded = alignTo(uint64_t(Count) * sizeof(T), 16);
+    Ctx.dmaPutLarge(Base.addr(), Local, Padded, Tag);
+    Ctx.dmaWait(Tag);
+    Committed = true;
+  }
+
+  /// Re-runs the initial bulk get (after the host mutated the array and
+  /// the offload re-synchronised). Clears the committed flag.
+  void refresh() {
+    assert(Mode != AccessMode::WriteOnly && "refreshing a write-only view");
+    uint64_t Padded = alignTo(uint64_t(Count) * sizeof(T), 16);
+    Ctx.dmaGetLarge(Local, Base.addr(), Padded, Tag);
+    Ctx.dmaWait(Tag);
+    Committed = false;
+  }
+
+private:
+  OffloadContext &Ctx;
+  OuterPtr<T> Base;
+  uint32_t Count;
+  AccessMode Mode;
+  unsigned Tag;
+  sim::LocalAddr Local;
+  bool Committed = false;
+};
+
+/// Convenience single-value accessor: fetch one outer T, work on it
+/// locally, write it back on commit/destruction.
+template <typename T> class ValueAccessor {
+public:
+  ValueAccessor(OffloadContext &Ctx, OuterPtr<T> Target,
+                AccessMode Mode = AccessMode::ReadWrite)
+      : Inner(Ctx, Target, 1, Mode) {}
+
+  T get() const { return Inner.get(0); }
+  void set(const T &Value) { Inner.set(0, Value); }
+  template <typename Fn> void update(Fn &&Fn_) { Inner.update(0, Fn_); }
+  void commit() { Inner.commit(); }
+
+private:
+  ArrayAccessor<T> Inner;
+};
+
+} // namespace omm::offload
+
+#endif // OMM_OFFLOAD_ACCESSORS_H

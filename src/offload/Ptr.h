@@ -1,0 +1,177 @@
+//===- offload/Ptr.h - Memory-space-qualified pointers ---------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library embedding of Offload C++'s extended type system: "Pointers
+/// and references declared inside an offload block scope are automatically
+/// type qualified with a new __outer qualifier if they reside on the
+/// accelerator but reference host memory. Offload C++ maintains strong
+/// type checking to refuse erroneous pointer manipulations such as
+/// assignments between pointers into different memory spaces" (Section 3).
+///
+/// OuterPtr<T> points into main memory; LocalPtr<T> points into the
+/// current accelerator's local store. They are unrelated types, so every
+/// cross-space assignment or comparison the paper's compiler rejects is a
+/// compile error here too (tests/offload_ptr_test.cpp probes this with
+/// requires-expressions). Data crosses spaces only through explicit,
+/// costed operations on an OffloadContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_OFFLOAD_PTR_H
+#define OMM_OFFLOAD_PTR_H
+
+#include "offload/OffloadContext.h"
+#include "sim/Address.h"
+
+#include <compare>
+#include <cstddef>
+#include <type_traits>
+
+namespace omm::offload {
+
+template <typename T> class LocalPtr;
+
+/// A typed pointer into main (outer/host) memory.
+///
+/// Dereferencing from an offload block is an inter-memory-space transfer
+/// and therefore requires the context: read(Ctx) / write(Ctx, V). On the
+/// host it is a plain (costed) memory access: hostRead(M) / hostWrite.
+template <typename T> class OuterPtr {
+public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "simulated memory holds trivially copyable data only");
+
+  constexpr OuterPtr() = default;
+  constexpr explicit OuterPtr(sim::GlobalAddr Addr) : Addr(Addr) {}
+
+  /// Cross-space conversions are refused, as in Offload C++.
+  template <typename U> OuterPtr(const LocalPtr<U> &) = delete;
+  template <typename U> OuterPtr &operator=(const LocalPtr<U> &) = delete;
+
+  constexpr sim::GlobalAddr addr() const { return Addr; }
+  constexpr bool isNull() const { return Addr.isNull(); }
+  constexpr explicit operator bool() const { return !Addr.isNull(); }
+
+  constexpr OuterPtr operator+(std::ptrdiff_t N) const {
+    return OuterPtr(Addr + static_cast<uint64_t>(N * sizeof(T)));
+  }
+  constexpr OuterPtr operator-(std::ptrdiff_t N) const {
+    return OuterPtr(Addr - static_cast<uint64_t>(N * sizeof(T)));
+  }
+  OuterPtr &operator++() {
+    Addr += sizeof(T);
+    return *this;
+  }
+  constexpr auto operator<=>(const OuterPtr &) const = default;
+
+  /// \returns a pointer to a member at byte offset \p ByteOffset, typed
+  /// as \p F (the library analogue of &p->field).
+  template <typename F> constexpr OuterPtr<F> field(uint64_t ByteOffset) const {
+    return OuterPtr<F>(Addr + ByteOffset);
+  }
+
+  /// Accelerator-side dereference: automatic data movement through the
+  /// context (bound software cache or direct DMA).
+  T read(OffloadContext &Ctx) const { return Ctx.outerRead<T>(Addr); }
+  void write(OffloadContext &Ctx, const T &Value) const {
+    Ctx.outerWrite(Addr, Value);
+  }
+
+  /// Host-side dereference (ordinary costed access).
+  T hostRead(sim::Machine &M) const { return M.hostRead<T>(Addr); }
+  void hostWrite(sim::Machine &M, const T &Value) const {
+    M.hostWrite(Addr, Value);
+  }
+
+private:
+  sim::GlobalAddr Addr;
+};
+
+/// A typed pointer into the current accelerator's local store.
+template <typename T> class LocalPtr {
+public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "simulated memory holds trivially copyable data only");
+
+  constexpr LocalPtr() = default;
+  constexpr explicit LocalPtr(sim::LocalAddr Addr) : Addr(Addr) {}
+
+  /// Cross-space conversions are refused, as in Offload C++.
+  template <typename U> LocalPtr(const OuterPtr<U> &) = delete;
+  template <typename U> LocalPtr &operator=(const OuterPtr<U> &) = delete;
+
+  constexpr sim::LocalAddr addr() const { return Addr; }
+  constexpr bool isNull() const { return Addr.isNull(); }
+  constexpr explicit operator bool() const { return !Addr.isNull(); }
+
+  constexpr LocalPtr operator+(std::ptrdiff_t N) const {
+    return LocalPtr(Addr + static_cast<uint32_t>(N * sizeof(T)));
+  }
+  constexpr LocalPtr operator-(std::ptrdiff_t N) const {
+    return LocalPtr(Addr - static_cast<uint32_t>(N * sizeof(T)));
+  }
+  LocalPtr &operator++() {
+    Addr += sizeof(T);
+    return *this;
+  }
+  constexpr auto operator<=>(const LocalPtr &) const = default;
+
+  template <typename F> constexpr LocalPtr<F> field(uint32_t ByteOffset) const {
+    return LocalPtr<F>(Addr + ByteOffset);
+  }
+
+  /// Local-store dereference (fast path: 1 cycle per quadword).
+  T read(OffloadContext &Ctx) const { return Ctx.localRead<T>(Addr); }
+  void write(OffloadContext &Ctx, const T &Value) const {
+    Ctx.localWrite(Addr, Value);
+  }
+
+private:
+  sim::LocalAddr Addr;
+};
+
+/// Allocates a T in main memory and \returns an outer pointer to it.
+template <typename T> OuterPtr<T> allocOuter(sim::Machine &M) {
+  return OuterPtr<T>(M.allocGlobal(sizeof(T), alignof(T) > 16 ? alignof(T) : 16));
+}
+
+/// Allocates an array of \p Count T in main memory.
+template <typename T>
+OuterPtr<T> allocOuterArray(sim::Machine &M, uint64_t Count) {
+  return OuterPtr<T>(
+      M.allocGlobal(Count * sizeof(T), alignof(T) > 16 ? alignof(T) : 16));
+}
+
+/// Allocates a T in the current block's local store.
+template <typename T> LocalPtr<T> allocLocal(OffloadContext &Ctx) {
+  return LocalPtr<T>(Ctx.localAlloc(sizeof(T)));
+}
+
+/// Allocates an array of \p Count T in the current block's local store.
+template <typename T>
+LocalPtr<T> allocLocalArray(OffloadContext &Ctx, uint32_t Count) {
+  return LocalPtr<T>(Ctx.localAllocArray<T>(Count));
+}
+
+/// Copies one T across spaces: the explicit "data movement code" the
+/// compiler would generate for an assignment through mixed-space pointers.
+template <typename T>
+void transfer(OffloadContext &Ctx, LocalPtr<T> Dst, OuterPtr<T> Src) {
+  T Value = Src.read(Ctx);
+  Dst.write(Ctx, Value);
+}
+
+template <typename T>
+void transfer(OffloadContext &Ctx, OuterPtr<T> Dst, LocalPtr<T> Src) {
+  T Value = Src.read(Ctx);
+  Dst.write(Ctx, Value);
+}
+
+} // namespace omm::offload
+
+#endif // OMM_OFFLOAD_PTR_H

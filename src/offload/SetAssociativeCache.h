@@ -1,0 +1,128 @@
+//===- offload/SetAssociativeCache.h - LRU software cache ------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, write-back software cache with LRU replacement: the
+/// general-purpose cache for offloads with temporal locality and enough
+/// conflicting addresses that a direct-mapped cache would thrash. Its
+/// lookup is the most expensive of the provided caches (way search on
+/// every access), which is exactly the trade-off experiment E6 exposes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_OFFLOAD_SETASSOCIATIVECACHE_H
+#define OMM_OFFLOAD_SETASSOCIATIVECACHE_H
+
+#include "offload/SoftwareCache.h"
+
+#include <vector>
+
+namespace omm::offload {
+
+/// Write-back LRU set-associative cache over main memory.
+class SetAssociativeCache : public SoftwareCacheBase {
+public:
+  struct Params {
+    uint32_t LineSize = 128; ///< Bytes per line; power of two, >= 16.
+    uint32_t NumSets = 64;   ///< Power of two.
+    uint32_t Ways = 4;
+    uint64_t LookupCycles = 16; ///< Charged per access (way search).
+  };
+
+  SetAssociativeCache(OffloadContext &Ctx, Params P);
+  ~SetAssociativeCache() override;
+
+  void read(void *Dst, sim::GlobalAddr Src, uint32_t Size) override;
+  void write(sim::GlobalAddr Dst, const void *Src, uint32_t Size) override;
+  void flush() override;
+  void invalidate() override;
+  const char *name() const override { return "set-associative-lru"; }
+
+  /// Asynchronous prefetch, after Balart et al.'s "novel asynchronous
+  /// software cache implementation for the Cell-BE" that the paper
+  /// cites: starts filling the line containing \p Addr without blocking.
+  /// A later access to the line pays only the residual wait. No-op when
+  /// the line is already resident or already being prefetched.
+  void prefetch(sim::GlobalAddr Addr);
+
+  const Params &params() const { return P; }
+
+  /// Prefetches issued so far (profile counter).
+  uint64_t prefetchesIssued() const { return PrefetchesIssued; }
+
+protected:
+  /// Hook for subclasses (DirectMappedCache) to rename themselves.
+  SetAssociativeCache(OffloadContext &Ctx, Params P, bool);
+
+private:
+  struct Line {
+    uint64_t LineAddr = 0; ///< Byte address of the line in main memory.
+    uint64_t LastUse = 0;
+    bool Valid = false;
+    bool Dirty = false;
+    bool FillPending = false; ///< An async prefetch is still in flight.
+  };
+
+  /// Walks [Src, Src+Size) line by line, calling
+  /// Access(LineLocalAddr, OffsetInLine, BytesThisLine) for each piece.
+  template <typename AccessFn>
+  void forEachLinePiece(sim::GlobalAddr Addr, uint32_t Size, bool ForWrite,
+                        AccessFn &&Access);
+
+  /// \returns the local-store address of the line containing \p LineAddr,
+  /// filling and/or evicting as needed.
+  sim::LocalAddr lineFor(uint64_t LineAddr, bool ForWrite);
+
+  uint32_t lineBytesInMemory(uint64_t LineAddr) const;
+  sim::LocalAddr lineStorage(uint32_t Set, uint32_t Way) const;
+  void writebackLine(Line &L, uint32_t Set, uint32_t Way);
+
+  /// Tag used by async prefetch fills, distinct from the demand tag so
+  /// waiting for a demand fill never serialises behind prefetches.
+  unsigned prefetchTag() const { return Ctx.config().NumDmaTags - 6; }
+
+  /// Waits out every in-flight prefetch and marks the lines resident.
+  void drainPrefetches();
+
+  Params P;
+  sim::LocalAddr Base;
+  std::vector<Line> Lines; ///< NumSets * Ways, set-major.
+  uint64_t UseTick = 0;
+  uint64_t PrefetchesIssued = 0;
+  unsigned PendingFills = 0; ///< Prefetches not yet waited for.
+};
+
+/// Direct-mapped variant: one way, and a cheaper lookup (no way search,
+/// just an index mask and one tag compare). "Several software caches,
+/// favouring different types of application behaviour" (Section 4.2).
+class DirectMappedCache : public SetAssociativeCache {
+public:
+  struct Params {
+    uint32_t LineSize = 128;
+    uint32_t NumLines = 256;
+    uint64_t LookupCycles = 8;
+  };
+
+  explicit DirectMappedCache(OffloadContext &Ctx);
+  DirectMappedCache(OffloadContext &Ctx, Params P);
+
+  const char *name() const override { return "direct-mapped"; }
+};
+
+inline DirectMappedCache::DirectMappedCache(OffloadContext &Ctx, Params P)
+    : SetAssociativeCache(
+          Ctx,
+          SetAssociativeCache::Params{P.LineSize, P.NumLines, 1,
+                                      P.LookupCycles},
+          /*IsSubclass=*/true) {}
+
+inline DirectMappedCache::DirectMappedCache(OffloadContext &Ctx)
+    : DirectMappedCache(Ctx, Params()) {}
+
+} // namespace omm::offload
+
+#endif // OMM_OFFLOAD_SETASSOCIATIVECACHE_H

@@ -1,0 +1,90 @@
+//===- sim/Address.h - Strongly typed simulated addresses ------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Address types for the two kinds of memory space in the simulated
+/// machine. The paper's central point is that pointers into different
+/// memory spaces must not be confused ("Offload C++ maintains strong type
+/// checking to refuse erroneous pointer manipulations such as assignments
+/// between pointers into different memory spaces", Section 3). GlobalAddr
+/// and LocalAddr are distinct, non-convertible types so that confusion is
+/// a compile error throughout this code base, exactly as in Offload C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SIM_ADDRESS_H
+#define OMM_SIM_ADDRESS_H
+
+#include <compare>
+#include <cstdint>
+
+namespace omm::sim {
+
+/// An address in the single, large main ("outer"/host) memory space.
+///
+/// Address zero is reserved as the null address; the main-memory allocator
+/// never returns it.
+struct GlobalAddr {
+  uint64_t Value = 0;
+
+  constexpr GlobalAddr() = default;
+  constexpr explicit GlobalAddr(uint64_t Value) : Value(Value) {}
+
+  constexpr bool isNull() const { return Value == 0; }
+  constexpr explicit operator bool() const { return Value != 0; }
+
+  constexpr GlobalAddr operator+(uint64_t Offset) const {
+    return GlobalAddr(Value + Offset);
+  }
+  constexpr GlobalAddr operator-(uint64_t Offset) const {
+    return GlobalAddr(Value - Offset);
+  }
+  constexpr int64_t operator-(GlobalAddr Other) const {
+    return static_cast<int64_t>(Value) - static_cast<int64_t>(Other.Value);
+  }
+  GlobalAddr &operator+=(uint64_t Offset) {
+    Value += Offset;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const GlobalAddr &) const = default;
+};
+
+/// An address in one accelerator's private local store (scratch-pad).
+///
+/// Local stores are small (256 KB on the Cell SPE the paper targets), so a
+/// 32-bit value suffices. A LocalAddr is only meaningful together with the
+/// accelerator that owns the store.
+struct LocalAddr {
+  uint32_t Value = 0;
+
+  constexpr LocalAddr() = default;
+  constexpr explicit LocalAddr(uint32_t Value) : Value(Value) {}
+
+  constexpr bool isNull() const { return Value == 0; }
+  constexpr explicit operator bool() const { return Value != 0; }
+
+  constexpr LocalAddr operator+(uint32_t Offset) const {
+    return LocalAddr(Value + Offset);
+  }
+  constexpr LocalAddr operator-(uint32_t Offset) const {
+    return LocalAddr(Value - Offset);
+  }
+  constexpr int64_t operator-(LocalAddr Other) const {
+    return static_cast<int64_t>(Value) - static_cast<int64_t>(Other.Value);
+  }
+  LocalAddr &operator+=(uint32_t Offset) {
+    Value += Offset;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const LocalAddr &) const = default;
+};
+
+} // namespace omm::sim
+
+#endif // OMM_SIM_ADDRESS_H

@@ -1,0 +1,299 @@
+//===- sim/DmaEngine.cpp - MFC-style DMA engine ---------------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DmaEngine.h"
+
+#include "sim/CycleClock.h"
+#include "sim/LocalStore.h"
+#include "sim/MainMemory.h"
+#include "sim/PerfCounters.h"
+#include "support/Diag.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace omm;
+using namespace omm::sim;
+
+DmaObserver::~DmaObserver() = default;
+
+DmaEngine::DmaEngine(unsigned AccelId, const MachineConfig &Config,
+                     MainMemory &Main, LocalStore &Store, CycleClock &Clock,
+                     PerfCounters &Counters)
+    : AccelId(AccelId), Config(Config), Main(Main), Store(Store),
+      Clock(Clock), Counters(Counters) {}
+
+void DmaEngine::validate(LocalAddr Local, GlobalAddr Global, uint32_t Size,
+                         unsigned Tag) const {
+  if (Tag >= Config.NumDmaTags)
+    reportFatalError("dma: tag out of range");
+  if (!Config.isLegalDmaSize(Size))
+    reportFatalError("dma: illegal transfer size (must be 1/2/4/8 or a "
+                     "multiple of the DMA alignment, and at most the MFC "
+                     "maximum)");
+  uint32_t Align = Size < Config.DmaAlignment ? Size : Config.DmaAlignment;
+  if (!isAligned(Local.Value, Align) || !isAligned(Global.Value, Align))
+    reportFatalError("dma: misaligned transfer");
+  if (!Store.contains(Local, Size))
+    reportFatalError("dma: local address out of local store bounds");
+  if (!Main.contains(Global, Size))
+    reportFatalError("dma: global address out of main memory bounds");
+}
+
+void DmaEngine::issue(DmaDir Dir, LocalAddr Local, GlobalAddr Global,
+                      uint32_t Size, unsigned Tag, Ordering Order) {
+  validate(Local, Global, Size, Tag);
+
+  // The issuing core pays the per-command enqueue cost up front.
+  Clock.advance(Config.DmaIssueCycles);
+  uint64_t Now = Clock.now();
+
+  // Queue-depth stall: the MFC accepts at most DmaQueueDepth in-flight
+  // requests; issuing into a full queue blocks the core until the oldest
+  // in-flight transfer drains.
+  auto inFlightCount = [&](uint64_t At) {
+    unsigned Count = 0;
+    for (const DmaTransfer &T : Pending)
+      if (T.CompleteCycle > At)
+        ++Count;
+    return Count;
+  };
+  if (inFlightCount(Now) >= Config.DmaQueueDepth) {
+    // Advance to the completion of the earliest still-in-flight transfer.
+    uint64_t Earliest = UINT64_MAX;
+    for (const DmaTransfer &T : Pending)
+      if (T.CompleteCycle > Now)
+        Earliest = std::min(Earliest, T.CompleteCycle);
+    assert(Earliest != UINT64_MAX && "full queue with nothing in flight");
+    Counters.DmaQueueFullStallCycles += Clock.advanceTo(Earliest);
+    Now = Clock.now();
+  }
+
+  uint64_t Start = std::max(Now, ChannelFreeAt);
+  if (Order == Ordering::Fence)
+    Start = std::max(Start, lastCompletionForTag(Tag));
+  else if (Order == Ordering::Barrier)
+    Start = std::max(Start, maxCompletionAll());
+  uint64_t DataCycles = Config.DmaBytesPerCycle == 0
+                            ? 0
+                            : divideCeil(Size, Config.DmaBytesPerCycle);
+  uint64_t Complete = Start + Config.DmaLatencyCycles + DataCycles;
+  ChannelFreeAt = Start + DataCycles;
+
+  DmaTransfer Transfer;
+  Transfer.Id = NextId++;
+  Transfer.Dir = Dir;
+  Transfer.AccelId = AccelId;
+  Transfer.Local = Local;
+  Transfer.Global = Global;
+  Transfer.Size = Size;
+  Transfer.Tag = Tag;
+  Transfer.Fenced = Order == Ordering::Fence;
+  Transfer.Barriered = Order == Ordering::Barrier;
+  Transfer.IssueCycle = Now;
+  Transfer.CompleteCycle = Complete;
+
+  // Functional copy happens now (see file comment in DmaEngine.h).
+  if (Dir == DmaDir::Get) {
+    std::memcpy(Store.rawPtr(Local, Size), Main.rawPtr(Global, Size), Size);
+    ++Counters.DmaGetsIssued;
+    Counters.DmaBytesRead += Size;
+  } else {
+    std::memcpy(Main.rawPtr(Global, Size), Store.rawPtr(Local, Size), Size);
+    ++Counters.DmaPutsIssued;
+    Counters.DmaBytesWritten += Size;
+  }
+
+  Pending.push_back(Transfer);
+  if (Observer)
+    Observer->onIssue(Transfer);
+}
+
+void DmaEngine::get(LocalAddr Dst, GlobalAddr Src, uint32_t Size,
+                    unsigned Tag) {
+  issue(DmaDir::Get, Dst, Src, Size, Tag, Ordering::None);
+}
+
+void DmaEngine::put(GlobalAddr Dst, LocalAddr Src, uint32_t Size,
+                    unsigned Tag) {
+  issue(DmaDir::Put, Src, Dst, Size, Tag, Ordering::None);
+}
+
+void DmaEngine::getFenced(LocalAddr Dst, GlobalAddr Src, uint32_t Size,
+                          unsigned Tag) {
+  issue(DmaDir::Get, Dst, Src, Size, Tag, Ordering::Fence);
+}
+
+void DmaEngine::putFenced(GlobalAddr Dst, LocalAddr Src, uint32_t Size,
+                          unsigned Tag) {
+  issue(DmaDir::Put, Src, Dst, Size, Tag, Ordering::Fence);
+}
+
+void DmaEngine::getBarrier(LocalAddr Dst, GlobalAddr Src, uint32_t Size,
+                           unsigned Tag) {
+  issue(DmaDir::Get, Dst, Src, Size, Tag, Ordering::Barrier);
+}
+
+void DmaEngine::putBarrier(GlobalAddr Dst, LocalAddr Src, uint32_t Size,
+                           unsigned Tag) {
+  issue(DmaDir::Put, Src, Dst, Size, Tag, Ordering::Barrier);
+}
+
+uint64_t DmaEngine::lastCompletionForTag(unsigned Tag) const {
+  uint64_t Last = 0;
+  for (const DmaTransfer &T : Pending)
+    if (T.Tag == Tag)
+      Last = std::max(Last, T.CompleteCycle);
+  return Last;
+}
+
+uint64_t DmaEngine::maxCompletionAll() const {
+  uint64_t Last = 0;
+  for (const DmaTransfer &T : Pending)
+    Last = std::max(Last, T.CompleteCycle);
+  return Last;
+}
+
+void DmaEngine::waitTagMask(uint32_t TagMask) {
+  uint64_t Target = 0;
+  for (const DmaTransfer &T : Pending)
+    if (TagMask & (1u << T.Tag))
+      Target = std::max(Target, T.CompleteCycle);
+  Counters.DmaStallCycles += Clock.advanceTo(Target);
+  if (Observer)
+    Observer->onWait(AccelId, TagMask, Clock.now());
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [&](const DmaTransfer &T) {
+                                 return (TagMask & (1u << T.Tag)) != 0;
+                               }),
+                Pending.end());
+}
+
+void DmaEngine::waitTag(unsigned Tag) {
+  if (Tag >= Config.NumDmaTags)
+    reportFatalError("dma: tag out of range");
+  waitTagMask(1u << Tag);
+}
+
+void DmaEngine::waitAll() { waitTagMask(~0u); }
+
+void DmaEngine::issueList(DmaDir Dir, const ListElement *Elements,
+                          unsigned Count, unsigned Tag) {
+  if (Count == 0)
+    return;
+  uint64_t TotalBytes = 0;
+  for (unsigned I = 0; I != Count; ++I) {
+    validate(Elements[I].Local, Elements[I].Global, Elements[I].Size, Tag);
+    TotalBytes += Elements[I].Size;
+  }
+
+  // One enqueue cost for the whole list command.
+  Clock.advance(Config.DmaIssueCycles);
+  uint64_t Now = Clock.now();
+  // One queue slot for the whole command.
+  auto inFlightCount = [&](uint64_t At) {
+    unsigned InFlight = 0;
+    for (const DmaTransfer &T : Pending)
+      if (T.CompleteCycle > At)
+        ++InFlight;
+    return InFlight;
+  };
+  if (inFlightCount(Now) >= Config.DmaQueueDepth) {
+    uint64_t Earliest = UINT64_MAX;
+    for (const DmaTransfer &T : Pending)
+      if (T.CompleteCycle > Now)
+        Earliest = std::min(Earliest, T.CompleteCycle);
+    assert(Earliest != UINT64_MAX && "full queue with nothing in flight");
+    Counters.DmaQueueFullStallCycles += Clock.advanceTo(Earliest);
+    Now = Clock.now();
+  }
+
+  // One startup latency covers the whole list; the data phases of the
+  // elements serialise on the engine channel.
+  uint64_t Start = std::max(Now, ChannelFreeAt);
+  uint64_t DataCycles = Config.DmaBytesPerCycle == 0
+                            ? 0
+                            : divideCeil(TotalBytes, Config.DmaBytesPerCycle);
+  uint64_t Complete = Start + Config.DmaLatencyCycles + DataCycles;
+  ChannelFreeAt = Start + DataCycles;
+
+  for (unsigned I = 0; I != Count; ++I) {
+    const ListElement &E = Elements[I];
+    if (Dir == DmaDir::Get) {
+      std::memcpy(Store.rawPtr(E.Local, E.Size),
+                  Main.rawPtr(E.Global, E.Size), E.Size);
+      Counters.DmaBytesRead += E.Size;
+    } else {
+      std::memcpy(Main.rawPtr(E.Global, E.Size),
+                  Store.rawPtr(E.Local, E.Size), E.Size);
+      Counters.DmaBytesWritten += E.Size;
+    }
+
+    // The race checker and tag bookkeeping see one record per element
+    // (overlap analysis needs the element ranges), all sharing the list
+    // command's timing.
+    DmaTransfer Transfer;
+    Transfer.Id = NextId++;
+    Transfer.Dir = Dir;
+    Transfer.AccelId = AccelId;
+    Transfer.Local = E.Local;
+    Transfer.Global = E.Global;
+    Transfer.Size = E.Size;
+    Transfer.Tag = Tag;
+    Transfer.IssueCycle = Now;
+    Transfer.CompleteCycle = Complete;
+    Pending.push_back(Transfer);
+    if (Observer)
+      Observer->onIssue(Transfer);
+  }
+  if (Dir == DmaDir::Get)
+    ++Counters.DmaGetsIssued;
+  else
+    ++Counters.DmaPutsIssued;
+}
+
+void DmaEngine::getList(const ListElement *Elements, unsigned Count,
+                        unsigned Tag) {
+  issueList(DmaDir::Get, Elements, Count, Tag);
+}
+
+void DmaEngine::putList(const ListElement *Elements, unsigned Count,
+                        unsigned Tag) {
+  issueList(DmaDir::Put, Elements, Count, Tag);
+}
+
+void DmaEngine::getLarge(LocalAddr Dst, GlobalAddr Src, uint64_t Size,
+                         unsigned Tag) {
+  while (Size != 0) {
+    uint32_t Chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(Size, Config.MaxDmaTransferSize));
+    // Keep the tail a legal size: round down to alignment unless this is
+    // the final sub-16-byte piece.
+    if (Chunk >= Config.DmaAlignment)
+      Chunk = static_cast<uint32_t>(alignDown(Chunk, Config.DmaAlignment));
+    get(Dst, Src, Chunk, Tag);
+    Dst += Chunk;
+    Src += Chunk;
+    Size -= Chunk;
+  }
+}
+
+void DmaEngine::putLarge(GlobalAddr Dst, LocalAddr Src, uint64_t Size,
+                         unsigned Tag) {
+  while (Size != 0) {
+    uint32_t Chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(Size, Config.MaxDmaTransferSize));
+    if (Chunk >= Config.DmaAlignment)
+      Chunk = static_cast<uint32_t>(alignDown(Chunk, Config.DmaAlignment));
+    put(Dst, Src, Chunk, Tag);
+    Dst += Chunk;
+    Src += Chunk;
+    Size -= Chunk;
+  }
+}

@@ -1,0 +1,91 @@
+//===- sim/DmaObserver.h - Hooks for DMA traffic analysis ------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation interface over the simulated machine's memory traffic.
+/// "The difficulty of DMA programming has prompted design of both static
+/// and dynamic analysis tools to detect DMA races" (Section 2); the
+/// dynamic checker in src/dmacheck implements this interface, in the
+/// spirit of the IBM Cell BE Race Check Library the paper cites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SIM_DMAOBSERVER_H
+#define OMM_SIM_DMAOBSERVER_H
+
+#include "sim/Address.h"
+
+#include <cstdint>
+
+namespace omm::sim {
+
+/// Direction of a DMA transfer, named from the accelerator's viewpoint as
+/// in the Cell SDK: get = main memory -> local store, put = local store ->
+/// main memory.
+enum class DmaDir { Get, Put };
+
+/// A single DMA request as issued to an accelerator's memory flow
+/// controller, with the cost model's resolved timing.
+struct DmaTransfer {
+  uint64_t Id = 0;           ///< Monotonic per-machine id.
+  DmaDir Dir = DmaDir::Get;
+  unsigned AccelId = 0;
+  LocalAddr Local;           ///< Local-store end of the transfer.
+  GlobalAddr Global;         ///< Main-memory end of the transfer.
+  uint32_t Size = 0;         ///< Bytes moved.
+  unsigned Tag = 0;          ///< Tag group (0..NumDmaTags-1).
+  bool Fenced = false;       ///< Ordered after earlier same-tag transfers.
+  bool Barriered = false;    ///< Ordered after all earlier transfers on
+                             ///< this engine.
+  uint64_t IssueCycle = 0;   ///< Accelerator cycle at which it was issued.
+  uint64_t CompleteCycle = 0;///< Cycle at which the data is guaranteed in
+                             ///< place (what dma_wait waits for).
+};
+
+/// Callbacks fired by the machine as traffic happens. All default to
+/// no-ops so observers override only what they need.
+class DmaObserver {
+public:
+  virtual ~DmaObserver();
+
+  /// A transfer was accepted by an MFC queue.
+  virtual void onIssue(const DmaTransfer &Transfer) { (void)Transfer; }
+
+  /// An accelerator blocked until every transfer in \p TagMask completed.
+  virtual void onWait(unsigned AccelId, uint32_t TagMask, uint64_t Cycle) {
+    (void)AccelId;
+    (void)TagMask;
+    (void)Cycle;
+  }
+
+  /// An accelerator core touched its local store directly.
+  virtual void onLocalAccess(unsigned AccelId, LocalAddr Addr, uint32_t Size,
+                             bool IsWrite, uint64_t Cycle) {
+    (void)AccelId;
+    (void)Addr;
+    (void)Size;
+    (void)IsWrite;
+    (void)Cycle;
+  }
+
+  /// The host core touched main memory directly.
+  virtual void onHostAccess(GlobalAddr Addr, uint64_t Size, bool IsWrite,
+                            uint64_t Cycle) {
+    (void)Addr;
+    (void)Size;
+    (void)IsWrite;
+    (void)Cycle;
+  }
+
+  /// An offload block finished on \p AccelId; any still-unwaited transfer
+  /// is a missing dma_wait.
+  virtual void onBlockEnd(unsigned AccelId) { (void)AccelId; }
+};
+
+} // namespace omm::sim
+
+#endif // OMM_SIM_DMAOBSERVER_H

@@ -1,0 +1,93 @@
+//===- sim/Machine.cpp - The simulated heterogeneous machine -------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "support/Diag.h"
+#include "support/MathExtras.h"
+#include "support/OStream.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace omm;
+using namespace omm::sim;
+
+void PerfCounters::print(OStream &OS) const {
+  auto Row = [&](const char *Name, uint64_t Value) {
+    OS.paddedInt(static_cast<int64_t>(Value), 14);
+    OS << "  " << Name << '\n';
+  };
+  Row("dma gets issued", DmaGetsIssued);
+  Row("dma puts issued", DmaPutsIssued);
+  Row("dma bytes read", DmaBytesRead);
+  Row("dma bytes written", DmaBytesWritten);
+  Row("dma stall cycles", DmaStallCycles);
+  Row("dma queue-full stall cycles", DmaQueueFullStallCycles);
+  Row("local loads", LocalLoads);
+  Row("local stores", LocalStores);
+  Row("host loads", HostLoads);
+  Row("host stores", HostStores);
+  Row("compute cycles", ComputeCycles);
+  Row("join stall cycles", JoinStallCycles);
+}
+
+Machine::Machine(const MachineConfig &Config)
+    : Cfg(Config), Main(Config.MainMemorySize) {
+  assert(Config.NumAccelerators >= 1 && "machine needs an accelerator");
+  assert(Config.NumDmaTags <= 32 && "tag masks are 32 bits wide");
+  for (unsigned I = 0; I != Config.NumAccelerators; ++I)
+    Accels.push_back(std::make_unique<Accelerator>(I, Cfg, Main));
+}
+
+Accelerator &Machine::accel(unsigned Id) {
+  if (Id >= Accels.size())
+    reportFatalError("machine: accelerator id out of range");
+  return *Accels[Id];
+}
+
+void Machine::setObserver(DmaObserver *Obs) {
+  Observer = Obs;
+  for (auto &Accel : Accels)
+    Accel->Dma.setObserver(Obs);
+}
+
+void Machine::chargeHostAccess(uint64_t Size, bool IsWrite, GlobalAddr Addr) {
+  uint64_t Words = divideCeil(std::max<uint64_t>(Size, 1),
+                              Cfg.HostAccessGranularity);
+  HostClock.advance(Words * Cfg.HostAccessCycles);
+  if (IsWrite)
+    ++HostCounters.HostStores;
+  else
+    ++HostCounters.HostLoads;
+  if (Observer)
+    Observer->onHostAccess(Addr, Size, IsWrite, HostClock.now());
+}
+
+void Machine::hostReadBytes(void *Dst, GlobalAddr Src, uint64_t Size) {
+  chargeHostAccess(Size, /*IsWrite=*/false, Src);
+  Main.read(Dst, Src, Size);
+}
+
+void Machine::hostWriteBytes(GlobalAddr Dst, const void *Src, uint64_t Size) {
+  chargeHostAccess(Size, /*IsWrite=*/true, Dst);
+  Main.write(Dst, Src, Size);
+}
+
+PerfCounters Machine::totalCounters() const {
+  PerfCounters Total = HostCounters;
+  for (const auto &Accel : Accels)
+    Total.merge(Accel->Counters);
+  return Total;
+}
+
+uint64_t Machine::globalTime() const {
+  uint64_t Time = HostClock.now();
+  for (const auto &Accel : Accels)
+    Time = std::max(Time, Accel->Clock.now());
+  return Time;
+}

@@ -1,0 +1,132 @@
+//===- sim/Machine.h - The simulated heterogeneous machine -----*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole simulated machine: one host core with direct access to a
+/// large main memory, plus N accelerator cores, each with a private
+/// 256 KB local store and an MFC-style DMA engine — the Cell BE shape the
+/// paper's Offload C++ targets ("a host core and a number of accelerators
+/// ... each accelerator is equipped with its own private, scratch-pad
+/// memory", Section 3).
+///
+/// The machine is purely deterministic: cores advance private cycle
+/// clocks, and the offload layer (src/offload) composes them into
+/// parallel simulated time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SIM_MACHINE_H
+#define OMM_SIM_MACHINE_H
+
+#include "sim/CycleClock.h"
+#include "sim/DmaEngine.h"
+#include "sim/LocalStore.h"
+#include "sim/MachineConfig.h"
+#include "sim/MainMemory.h"
+#include "sim/PerfCounters.h"
+
+#include <memory>
+#include <vector>
+
+namespace omm::sim {
+
+/// One accelerator core: private store, DMA engine, clock and counters.
+/// FreeAt tracks when the core finishes its last offload block, so
+/// successive blocks scheduled to the same core serialise.
+class Accelerator {
+public:
+  Accelerator(unsigned Id, const MachineConfig &Config, MainMemory &Main)
+      : Id(Id), Store(Config.LocalStoreSize),
+        Dma(Id, Config, Main, Store, Clock, Counters) {}
+
+  Accelerator(const Accelerator &) = delete;
+  Accelerator &operator=(const Accelerator &) = delete;
+
+  unsigned id() const { return Id; }
+
+  unsigned Id;
+  LocalStore Store;
+  CycleClock Clock;
+  PerfCounters Counters;
+  DmaEngine Dma;
+  uint64_t FreeAt = 0;
+};
+
+/// The complete simulated machine.
+class Machine {
+public:
+  explicit Machine(const MachineConfig &Config = MachineConfig::cellLike());
+
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  const MachineConfig &config() const { return Cfg; }
+  MainMemory &mainMemory() { return Main; }
+  const MainMemory &mainMemory() const { return Main; }
+
+  unsigned numAccelerators() const {
+    return static_cast<unsigned>(Accels.size());
+  }
+  Accelerator &accel(unsigned Id);
+
+  CycleClock &hostClock() { return HostClock; }
+  PerfCounters &hostCounters() { return HostCounters; }
+
+  /// Installs (or clears, with nullptr) an observer that sees all DMA and
+  /// direct memory traffic; used by the race checker.
+  void setObserver(DmaObserver *Obs);
+  DmaObserver *observer() { return Observer; }
+
+  /// Host-side allocation in main memory.
+  GlobalAddr allocGlobal(uint64_t Size, uint64_t Align = 16) {
+    return Main.allocate(Size, Align);
+  }
+  void freeGlobal(GlobalAddr Addr) { Main.deallocate(Addr); }
+
+  /// Host typed load from main memory, charging host access cost.
+  template <typename T> T hostRead(GlobalAddr Addr) {
+    chargeHostAccess(sizeof(T), /*IsWrite=*/false, Addr);
+    return Main.readValue<T>(Addr);
+  }
+
+  /// Host typed store to main memory, charging host access cost.
+  template <typename T> void hostWrite(GlobalAddr Addr, const T &Value) {
+    chargeHostAccess(sizeof(T), /*IsWrite=*/true, Addr);
+    Main.writeValue(Addr, Value);
+  }
+
+  /// Host bulk copy out of / into main memory.
+  void hostReadBytes(void *Dst, GlobalAddr Src, uint64_t Size);
+  void hostWriteBytes(GlobalAddr Dst, const void *Src, uint64_t Size);
+
+  /// Charges \p Cycles of computation to the host clock.
+  void hostCompute(uint64_t Cycles) {
+    HostClock.advance(Cycles);
+    HostCounters.ComputeCycles += Cycles;
+  }
+
+  /// Counters summed over the host and every accelerator.
+  PerfCounters totalCounters() const;
+
+  /// Latest simulated time across all cores (frame-end time once all
+  /// offloads are joined).
+  uint64_t globalTime() const;
+
+private:
+  void chargeHostAccess(uint64_t Size, bool IsWrite, GlobalAddr Addr);
+
+  MachineConfig Cfg;
+  MainMemory Main;
+  std::vector<std::unique_ptr<Accelerator>> Accels;
+  CycleClock HostClock;
+  PerfCounters HostCounters;
+  DmaObserver *Observer = nullptr;
+};
+
+} // namespace omm::sim
+
+#endif // OMM_SIM_MACHINE_H

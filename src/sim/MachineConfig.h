@@ -1,0 +1,114 @@
+//===- sim/MachineConfig.h - Simulated machine parameters ------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All architectural knobs of the simulated machine in one aggregate, with
+/// presets for the two memory architectures the paper contrasts: a Cell
+/// BE-like machine (host + accelerators with private 256 KB local stores
+/// and MFC DMA) and a traditional shared-memory machine (the "targets with
+/// traditional memory architectures" of Section 4.1). Experiments E1-E8
+/// sweep these fields; absolute values are calibrated to the published
+/// Cell BE figures (high-latency DMA, ~25 GB/s at 3.2 GHz = 8 bytes/cycle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SIM_MACHINECONFIG_H
+#define OMM_SIM_MACHINECONFIG_H
+
+#include <cstdint>
+
+namespace omm::sim {
+
+/// Architectural parameters of the simulated heterogeneous machine.
+struct MachineConfig {
+  /// Number of accelerator (SPE-like) cores. A PS3 game has 6 usable SPEs.
+  unsigned NumAccelerators = 6;
+
+  /// Bytes of private scratch-pad per accelerator (Cell SPE: 256 KB).
+  uint32_t LocalStoreSize = 256 * 1024;
+
+  /// Bytes of main (outer/host) memory.
+  uint64_t MainMemorySize = 64ull << 20;
+
+  /// Required alignment, in bytes, for DMA transfers of AlignedSize or
+  /// more. Smaller transfers must have a size in {1,2,4,8} and be
+  /// naturally aligned (the Cell MFC rule).
+  uint32_t DmaAlignment = 16;
+
+  /// Largest single DMA transfer (Cell MFC: 16 KB). Larger requests must
+  /// be split by the caller (the offload runtime does this).
+  uint32_t MaxDmaTransferSize = 16 * 1024;
+
+  /// Number of DMA tag groups per accelerator (Cell MFC: 32).
+  unsigned NumDmaTags = 32;
+
+  /// Maximum in-flight transfers per accelerator DMA queue (Cell: 16).
+  /// Issuing beyond this stalls the issuing core until a slot frees.
+  unsigned DmaQueueDepth = 16;
+
+  /// Cycles the issuing core spends enqueueing one MFC command (the
+  /// SPE writes ~5 channel registers per request). Charged per command:
+  /// a DMA *list* pays it once for all its elements, which is the list
+  /// form's advantage over issuing elements individually.
+  uint64_t DmaIssueCycles = 16;
+
+  /// Fixed startup latency of one DMA transfer, in cycles. Latencies of
+  /// independent transfers overlap (they pipeline through the MFC).
+  uint64_t DmaLatencyCycles = 200;
+
+  /// DMA bandwidth; the data phases of transfers on one engine serialise.
+  uint64_t DmaBytesPerCycle = 8;
+
+  /// Cost of an accelerator load/store to its own local store.
+  uint64_t LocalAccessCycles = 1;
+
+  /// Cost charged to the host per aligned word touched in main memory
+  /// (amortised cache behaviour of the PPE-like host).
+  uint64_t HostAccessCycles = 4;
+
+  /// Granularity (bytes) at which HostAccessCycles is charged.
+  uint32_t HostAccessGranularity = 8;
+
+  /// Cycles between the host requesting an offload block and the
+  /// accelerator starting it (thread launch plus amortised code upload).
+  uint64_t OffloadLaunchCycles = 1000;
+
+  /// Host-side cycles consumed issuing an offload launch.
+  uint64_t HostLaunchCycles = 200;
+
+  /// When true the machine behaves as a traditional single-space SMP:
+  /// accelerators address main memory directly at HostAccessCycles and
+  /// DMA degenerates to a cheap copy. Used as the paper's "traditional
+  /// memory architecture" baseline.
+  bool CacheCoherentSharedMemory = false;
+
+  /// A Cell BE-like configuration (the paper's PlayStation 3 target).
+  static MachineConfig cellLike() { return MachineConfig(); }
+
+  /// A traditional cache-coherent shared-memory multicore (the paper's
+  /// XBox 360-like contrast target): one address space, uniform cost.
+  static MachineConfig sharedMemoryLike() {
+    MachineConfig Config;
+    Config.CacheCoherentSharedMemory = true;
+    Config.DmaLatencyCycles = 0;
+    Config.DmaBytesPerCycle = 64;
+    return Config;
+  }
+
+  /// \returns true if \p Size is a legal DMA transfer size.
+  bool isLegalDmaSize(uint64_t Size) const {
+    if (Size == 0 || Size > MaxDmaTransferSize)
+      return false;
+    if (Size < DmaAlignment)
+      return Size == 1 || Size == 2 || Size == 4 || Size == 8;
+    return Size % DmaAlignment == 0;
+  }
+};
+
+} // namespace omm::sim
+
+#endif // OMM_SIM_MACHINECONFIG_H

@@ -1,0 +1,20 @@
+//===- support/OStream.cpp - Lightweight formatted output ----------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+
+using namespace omm;
+
+OStream &omm::outs() {
+  static OStream Stream(stdout);
+  return Stream;
+}
+
+OStream &omm::errs() {
+  static OStream Stream(stderr);
+  return Stream;
+}

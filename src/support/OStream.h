@@ -1,0 +1,118 @@
+//===- support/OStream.h - Lightweight formatted output --------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small raw_ostream-like text output facility layered over <cstdio>.
+/// Library code must not include <iostream> (it injects static constructors
+/// into every translation unit); this header provides the formatted output
+/// the libraries, examples and benches need instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SUPPORT_OSTREAM_H
+#define OMM_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace omm {
+
+/// Lightweight unbuffered-ish formatted output stream over a FILE*.
+///
+/// Supports the small set of operator<< overloads the project needs, plus
+/// fixed-width padding helpers used by the bench table printers. The stream
+/// never owns the FILE*; outs()/errs() return process-wide instances bound
+/// to stdout/stderr.
+class OStream {
+public:
+  explicit OStream(std::FILE *Stream) : Stream(Stream) {}
+
+  OStream &operator<<(char C) {
+    std::fputc(C, Stream);
+    return *this;
+  }
+
+  OStream &operator<<(const char *Str) {
+    std::fputs(Str ? Str : "(null)", Stream);
+    return *this;
+  }
+
+  OStream &operator<<(std::string_view Str) {
+    std::fwrite(Str.data(), 1, Str.size(), Stream);
+    return *this;
+  }
+
+  OStream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+
+  OStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  OStream &operator<<(int64_t N) {
+    std::fprintf(Stream, "%lld", static_cast<long long>(N));
+    return *this;
+  }
+
+  OStream &operator<<(uint64_t N) {
+    std::fprintf(Stream, "%llu", static_cast<unsigned long long>(N));
+    return *this;
+  }
+
+  OStream &operator<<(int32_t N) { return *this << static_cast<int64_t>(N); }
+  OStream &operator<<(uint32_t N) { return *this << static_cast<uint64_t>(N); }
+  OStream &operator<<(long long N) { return *this << static_cast<int64_t>(N); }
+  OStream &operator<<(unsigned long long N) {
+    return *this << static_cast<uint64_t>(N);
+  }
+
+  OStream &operator<<(double D) {
+    std::fprintf(Stream, "%g", D);
+    return *this;
+  }
+
+  /// Writes \p D with a fixed number of digits after the decimal point.
+  OStream &fixed(double D, int Digits = 2) {
+    std::fprintf(Stream, "%.*f", Digits, D);
+    return *this;
+  }
+
+  /// Writes \p Str left-justified in a field of \p Width columns.
+  OStream &padded(std::string_view Str, int Width) {
+    std::fprintf(Stream, "%-*.*s", Width, static_cast<int>(Str.size()),
+                 Str.data());
+    return *this;
+  }
+
+  /// Writes \p N right-justified in a field of \p Width columns.
+  OStream &paddedInt(int64_t N, int Width) {
+    std::fprintf(Stream, "%*lld", Width, static_cast<long long>(N));
+    return *this;
+  }
+
+  /// Writes \p D right-justified with \p Digits decimals in \p Width columns.
+  OStream &paddedFixed(double D, int Width, int Digits = 2) {
+    std::fprintf(Stream, "%*.*f", Width, Digits, D);
+    return *this;
+  }
+
+  void flush() { std::fflush(Stream); }
+
+private:
+  std::FILE *Stream;
+};
+
+/// Returns the stream bound to stdout.
+OStream &outs();
+
+/// Returns the stream bound to stderr.
+OStream &errs();
+
+} // namespace omm
+
+#endif // OMM_SUPPORT_OSTREAM_H

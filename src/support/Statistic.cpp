@@ -1,0 +1,64 @@
+//===- support/Statistic.cpp - Named counters ----------------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+#include "support/OStream.h"
+
+#include <algorithm>
+
+using namespace omm;
+
+uint64_t *StatRegistry::find(std::string_view Name) {
+  for (auto &Entry : Counters)
+    if (Entry.first == Name)
+      return &Entry.second;
+  return nullptr;
+}
+
+const uint64_t *StatRegistry::find(std::string_view Name) const {
+  for (const auto &Entry : Counters)
+    if (Entry.first == Name)
+      return &Entry.second;
+  return nullptr;
+}
+
+void StatRegistry::add(std::string_view Name, uint64_t Delta) {
+  if (uint64_t *Value = find(Name)) {
+    *Value += Delta;
+    return;
+  }
+  Counters.emplace_back(std::string(Name), Delta);
+}
+
+void StatRegistry::set(std::string_view Name, uint64_t Value) {
+  if (uint64_t *Existing = find(Name)) {
+    *Existing = Value;
+    return;
+  }
+  Counters.emplace_back(std::string(Name), Value);
+}
+
+uint64_t StatRegistry::get(std::string_view Name) const {
+  if (const uint64_t *Value = find(Name))
+    return *Value;
+  return 0;
+}
+
+void StatRegistry::print(OStream &OS) const {
+  auto Sorted = Counters;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (const auto &[Name, Value] : Sorted) {
+    OS.paddedInt(static_cast<int64_t>(Value), 12);
+    OS << "  " << Name << '\n';
+  }
+}
+
+void StatRegistry::clear() {
+  for (auto &Entry : Counters)
+    Entry.second = 0;
+}

@@ -1,0 +1,58 @@
+//===- support/Statistic.h - Named counters --------------------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny named-counter registry in the spirit of LLVM's Statistic class.
+/// Components register counters against an explicit StatRegistry (no global
+/// mutable state), and tools print them as a table. The paper's methodology
+/// is profile-driven ("the programmer must decide, based on profiling,
+/// which cache is most suitable"); these counters are that profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SUPPORT_STATISTIC_H
+#define OMM_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omm {
+
+class OStream;
+
+/// A registry of (name, value) counters owned by a tool or experiment.
+class StatRegistry {
+public:
+  /// Adds \p Delta to the counter named \p Name, creating it at zero first.
+  void add(std::string_view Name, uint64_t Delta = 1);
+
+  /// Sets the counter named \p Name to \p Value.
+  void set(std::string_view Name, uint64_t Value);
+
+  /// \returns the value of counter \p Name, or zero if never touched.
+  uint64_t get(std::string_view Name) const;
+
+  /// Prints all counters as "value  name" lines, sorted by name.
+  void print(OStream &OS) const;
+
+  /// Resets all counters to zero (keeps names registered).
+  void clear();
+
+private:
+  // Few counters per registry; linear scan beats a map here and keeps
+  // iteration order deterministic for printing.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  uint64_t *find(std::string_view Name);
+  const uint64_t *find(std::string_view Name) const;
+};
+
+} // namespace omm
+
+#endif // OMM_SUPPORT_STATISTIC_H

@@ -1,0 +1,57 @@
+//===- wordaddr/WordMemory.cpp - Word-addressed memory -------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wordaddr/WordMemory.h"
+
+#include "support/Diag.h"
+#include "support/MathExtras.h"
+
+#include <cstring>
+
+using namespace omm;
+using namespace omm::wordaddr;
+
+WordMemory::WordMemory(uint32_t NumWords, uint32_t WordSize)
+    : NumWords(NumWords), WordSize(WordSize),
+      Bytes(static_cast<size_t>(NumWords) * WordSize, 0) {
+  if (WordSize < 2 || WordSize > 8 || !isPowerOf2(WordSize))
+    reportFatalError("word memory: word size must be 2, 4 or 8 bytes");
+}
+
+uint64_t WordMemory::loadWord(uint32_t Word) {
+  ++Ops.WordLoads;
+  return peekWord(Word);
+}
+
+void WordMemory::storeWord(uint32_t Word, uint64_t Value) {
+  ++Ops.WordStores;
+  pokeWord(Word, Value);
+}
+
+uint32_t WordMemory::allocWords(uint32_t Words) {
+  if (Words == 0 || AllocTop + Words > NumWords)
+    reportFatalError("word memory: out of words");
+  uint32_t First = AllocTop;
+  AllocTop += Words;
+  return First;
+}
+
+uint64_t WordMemory::peekWord(uint32_t Word) const {
+  if (Word >= NumWords)
+    reportFatalError("word memory: word index out of bounds");
+  uint64_t Value = 0;
+  std::memcpy(&Value, Bytes.data() + static_cast<size_t>(Word) * WordSize,
+              WordSize);
+  return Value;
+}
+
+void WordMemory::pokeWord(uint32_t Word, uint64_t Value) {
+  if (Word >= NumWords)
+    reportFatalError("word memory: word index out of bounds");
+  std::memcpy(Bytes.data() + static_cast<size_t>(Word) * WordSize, &Value,
+              WordSize);
+}

@@ -1,0 +1,332 @@
+//===- wordaddr/WordPtr.h - Hybrid word/byte pointer types -----*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's hybrid addressing discipline (Section 5) as a typed
+/// pointer library. "We define an extra attribute for each pointer data
+/// type: the addressing unit size":
+///
+///   char __word *p;   ->  WordPtr<char>          (word-addressed)
+///   char __byte *p;   ->  BytePtr<char>          (byte-addressed)
+///   p + 1 (constant)  ->  ConstBytePtr<char,.,1> (word base + constant
+///                                                 byte offset; efficient)
+///
+/// The novelty the paper claims — "the compiler statically generates
+/// errors when applied to code that is inefficient for the device" — is
+/// preserved as C++ type rules:
+///
+///   - WordPtr + constant    : p.add<K>()   -> WordPtr when the offset is
+///                             whole words, else ConstBytePtr (efficient
+///                             constant extract on dereference).
+///   - WordPtr + variable    : operator+ is deleted — a compile error,
+///                             exactly the paper's "char *q = p+1 is
+///                             illegal" for the non-word case.
+///   - word-derived -> byte  : implicit (extended type-checker "allows
+///                             pointer expressions derived from
+///                             word-addressed pointers to be assigned to
+///                             byte-addressed pointers").
+///   - byte -> word          : no conversion exists ("prohibits
+///                             non-word-addressed values from being
+///                             assigned to word-addressed pointers").
+///
+/// Every dereference charges the op sequence a real word-addressed
+/// machine would execute into the WordMemory's OpCounts; experiment E7
+/// compares the disciplines with those numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_WORDADDR_WORDPTR_H
+#define OMM_WORDADDR_WORDPTR_H
+
+#include "wordaddr/WordMemory.h"
+
+#include <cassert>
+#include <cstddef> // offsetof, used by OMM_WORD_FIELD.
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace omm::wordaddr {
+
+namespace detail {
+
+constexpr long long floorDiv(long long A, long long B) {
+  long long Q = A / B;
+  return (A % B != 0 && (A < 0) != (B < 0)) ? Q - 1 : Q;
+}
+
+constexpr long long floorMod(long long A, long long B) {
+  return A - floorDiv(A, B) * B;
+}
+
+/// Functional byte-span load: reads sizeof(T) bytes starting at ByteAddr
+/// using whole-word loads (counted); discipline-specific extract/shift
+/// charges are added by the caller.
+template <typename T, uint32_t WS>
+T loadSpan(WordMemory &Mem, uint64_t ByteAddr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(Mem.wordSize() == WS && "pointer/memory word size mismatch");
+  uint8_t Buffer[sizeof(T) + 8];
+  uint32_t FirstWord = static_cast<uint32_t>(ByteAddr / WS);
+  uint32_t LastWord = static_cast<uint32_t>((ByteAddr + sizeof(T) - 1) / WS);
+  for (uint32_t W = FirstWord; W <= LastWord; ++W) {
+    uint64_t Word = Mem.loadWord(W);
+    std::memcpy(Buffer + (W - FirstWord) * WS, &Word, WS);
+  }
+  T Value;
+  std::memcpy(&Value, Buffer + (ByteAddr % WS), sizeof(T));
+  return Value;
+}
+
+/// Functional byte-span store; partial words are read-modify-written
+/// (counted as an extra load each).
+template <typename T, uint32_t WS>
+void storeSpan(WordMemory &Mem, uint64_t ByteAddr, const T &Value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(Mem.wordSize() == WS && "pointer/memory word size mismatch");
+  uint32_t FirstWord = static_cast<uint32_t>(ByteAddr / WS);
+  uint32_t LastWord = static_cast<uint32_t>((ByteAddr + sizeof(T) - 1) / WS);
+  const uint8_t *In = reinterpret_cast<const uint8_t *>(&Value);
+  for (uint32_t W = FirstWord; W <= LastWord; ++W) {
+    uint64_t WordStart = uint64_t(W) * WS;
+    uint64_t CopyStart = WordStart < ByteAddr ? ByteAddr : WordStart;
+    uint64_t CopyEnd = WordStart + WS;
+    if (CopyEnd > ByteAddr + sizeof(T))
+      CopyEnd = ByteAddr + sizeof(T);
+    bool Partial = CopyStart != WordStart || CopyEnd != WordStart + WS;
+    uint64_t Word = Partial ? Mem.loadWord(W) : 0;
+    std::memcpy(reinterpret_cast<uint8_t *>(&Word) + (CopyStart - WordStart),
+                In + (CopyStart - ByteAddr), CopyEnd - CopyStart);
+    Mem.storeWord(W, Word);
+  }
+}
+
+template <typename T, uint32_t WS>
+constexpr uint32_t wordsSpannedFrom(uint32_t OffInWord) {
+  return static_cast<uint32_t>((OffInWord + sizeof(T) - 1) / WS) + 1;
+}
+
+} // namespace detail
+
+template <typename T, uint32_t WS> class BytePtr;
+template <typename T, uint32_t WS, uint32_t Off> class ConstBytePtr;
+
+/// A word-addressed pointer (`T __word *p`): always refers to a
+/// word-aligned byte; the default, efficient pointer flavour.
+template <typename T, uint32_t WS = 4> class WordPtr {
+public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  constexpr WordPtr() = default;
+  constexpr explicit WordPtr(uint32_t WordIndex) : Word(WordIndex) {}
+
+  constexpr uint32_t wordIndex() const { return Word; }
+  constexpr uint64_t byteAddr() const { return uint64_t(Word) * WS; }
+
+  /// Adding a run-time variable is the statically rejected inefficient
+  /// pattern ("we raise a compilation error"). Use add<K>() for
+  /// constants or convert explicitly with toBytePtr().
+  WordPtr operator+(std::ptrdiff_t) const = delete;
+  WordPtr operator-(std::ptrdiff_t) const = delete;
+  WordPtr &operator++() = delete;
+
+  /// Constant pointer arithmetic p + K (in elements of T): stays a word
+  /// pointer when the byte offset is whole words, otherwise becomes a
+  /// constant-offset byte pointer which still dereferences efficiently.
+  template <long long K> constexpr auto add() const {
+    constexpr long long ByteDelta = K * static_cast<long long>(sizeof(T));
+    constexpr long long WordDelta = detail::floorDiv(ByteDelta, WS);
+    constexpr uint32_t NewOff =
+        static_cast<uint32_t>(detail::floorMod(ByteDelta, WS));
+    if constexpr (NewOff == 0)
+      return WordPtr(static_cast<uint32_t>(Word + WordDelta));
+    else
+      return ConstBytePtr<T, WS, NewOff>(
+          static_cast<uint32_t>(Word + WordDelta));
+  }
+
+  /// &p->Member for a member of type F at constant byte offset FieldOff
+  /// ("This works, using the constant offsets of 'a' and 'b'").
+  template <typename F, uint32_t FieldOff> constexpr auto fieldPtr() const {
+    constexpr uint32_t WordDelta = FieldOff / WS;
+    constexpr uint32_t NewOff = FieldOff % WS;
+    if constexpr (NewOff == 0)
+      return WordPtr<F, WS>(Word + WordDelta);
+    else
+      return ConstBytePtr<F, WS, NewOff>(Word + WordDelta);
+  }
+
+  /// The explicit escape hatch to the fully general (and slow) byte
+  /// pointer (`char __byte *q = ...`).
+  constexpr BytePtr<T, WS> toBytePtr() const;
+
+  /// Dereference: whole-word loads; sub-word values need one constant
+  /// extract.
+  T load(WordMemory &Mem) const {
+    T Value = detail::loadSpan<T, WS>(Mem, byteAddr());
+    if constexpr (sizeof(T) % WS != 0)
+      ++Mem.ops().ExtractOps;
+    return Value;
+  }
+
+  void store(WordMemory &Mem, const T &Value) const {
+    if constexpr (sizeof(T) % WS != 0)
+      ++Mem.ops().InsertOps;
+    detail::storeSpan<T, WS>(Mem, byteAddr(), Value);
+  }
+
+  constexpr bool operator==(const WordPtr &) const = default;
+
+private:
+  uint32_t Word = 0;
+};
+
+/// A word pointer plus a compile-time byte offset: the type of
+/// `p + 1` for constant 1. "We know that we can load a word at the
+/// address pointed to by p, and that we then extract the second byte
+/// from that word, which we can compile efficiently, because we know it
+/// is a constant value."
+template <typename T, uint32_t WS, uint32_t Off> class ConstBytePtr {
+public:
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(Off > 0 && Off < WS,
+                "constant offset must be a sub-word offset");
+
+  constexpr ConstBytePtr() = default;
+  constexpr explicit ConstBytePtr(uint32_t WordIndex) : Word(WordIndex) {}
+
+  constexpr uint32_t wordIndex() const { return Word; }
+  constexpr uint32_t offset() const { return Off; }
+  constexpr uint64_t byteAddr() const { return uint64_t(Word) * WS + Off; }
+
+  /// Further constant arithmetic re-normalises the (word, offset) pair.
+  template <long long K> constexpr auto add() const {
+    constexpr long long ByteDelta =
+        K * static_cast<long long>(sizeof(T)) + Off;
+    constexpr long long WordDelta = detail::floorDiv(ByteDelta, WS);
+    constexpr uint32_t NewOff =
+        static_cast<uint32_t>(detail::floorMod(ByteDelta, WS));
+    if constexpr (NewOff == 0)
+      return WordPtr<T, WS>(static_cast<uint32_t>(Word + WordDelta));
+    else
+      return ConstBytePtr<T, WS, NewOff>(
+          static_cast<uint32_t>(Word + WordDelta));
+  }
+
+  /// Variable arithmetic is rejected, as for WordPtr.
+  ConstBytePtr operator+(std::ptrdiff_t) const = delete;
+
+  constexpr BytePtr<T, WS> toBytePtr() const;
+
+  /// Dereference: word loads plus one constant-position extract per word
+  /// touched.
+  T load(WordMemory &Mem) const {
+    T Value = detail::loadSpan<T, WS>(Mem, byteAddr());
+    Mem.ops().ExtractOps += detail::wordsSpannedFrom<T, WS>(Off) - 1 + 1;
+    return Value;
+  }
+
+  void store(WordMemory &Mem, const T &Value) const {
+    Mem.ops().InsertOps += detail::wordsSpannedFrom<T, WS>(Off) - 1 + 1;
+    detail::storeSpan<T, WS>(Mem, byteAddr(), Value);
+  }
+
+  constexpr bool operator==(const ConstBytePtr &) const = default;
+
+private:
+  uint32_t Word = 0;
+};
+
+/// A fully general byte-addressed pointer (`T __byte *p`): portable but
+/// slow — each dereference decomposes the address and shifts/masks at
+/// run time ("keeping pointers as byte-pointers and converting on
+/// dereference gives the greatest level of portability, but at the
+/// expense of an often unacceptable performance hit").
+template <typename T, uint32_t WS = 4> class BytePtr {
+public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  constexpr BytePtr() = default;
+  constexpr explicit BytePtr(uint64_t ByteAddr) : Addr(ByteAddr) {}
+
+  /// Implicit conversions from the word-derived flavours are legal
+  /// ("allows pointer expressions derived from word-addressed pointers
+  /// to be assigned to byte-addressed pointers").
+  constexpr BytePtr(WordPtr<T, WS> P) : Addr(P.byteAddr()) {}
+  template <uint32_t Off>
+  constexpr BytePtr(ConstBytePtr<T, WS, Off> P) : Addr(P.byteAddr()) {}
+
+  constexpr uint64_t byteAddr() const { return Addr; }
+
+  /// Run-time pointer arithmetic (in elements of T) is what this flavour
+  /// exists for.
+  constexpr BytePtr operator+(std::ptrdiff_t K) const {
+    return BytePtr(Addr + static_cast<int64_t>(K) * sizeof(T));
+  }
+  constexpr BytePtr operator-(std::ptrdiff_t K) const {
+    return BytePtr(Addr - static_cast<int64_t>(K) * sizeof(T));
+  }
+  BytePtr &operator++() {
+    Addr += sizeof(T);
+    return *this;
+  }
+
+  /// Dereference: address decomposition plus a variable shift and mask
+  /// per word touched.
+  T load(WordMemory &Mem) const {
+    ++Mem.ops().AddrOps;
+    uint32_t OffInWord = static_cast<uint32_t>(Addr % WS);
+    uint32_t Words = detail::wordsSpannedFrom<T, WS>(OffInWord);
+    T Value = detail::loadSpan<T, WS>(Mem, Addr);
+    Mem.ops().ShiftOps += Words;
+    Mem.ops().MaskOps += Words;
+    return Value;
+  }
+
+  void store(WordMemory &Mem, const T &Value) const {
+    ++Mem.ops().AddrOps;
+    uint32_t OffInWord = static_cast<uint32_t>(Addr % WS);
+    uint32_t Words = detail::wordsSpannedFrom<T, WS>(OffInWord);
+    Mem.ops().ShiftOps += Words;
+    Mem.ops().MaskOps += Words;
+    detail::storeSpan<T, WS>(Mem, Addr, Value);
+  }
+
+  constexpr bool operator==(const BytePtr &) const = default;
+
+private:
+  uint64_t Addr = 0;
+};
+
+template <typename T, uint32_t WS>
+constexpr BytePtr<T, WS> WordPtr<T, WS>::toBytePtr() const {
+  return BytePtr<T, WS>(byteAddr());
+}
+
+template <typename T, uint32_t WS, uint32_t Off>
+constexpr BytePtr<T, WS> ConstBytePtr<T, WS, Off>::toBytePtr() const {
+  return BytePtr<T, WS>(byteAddr());
+}
+
+/// Allocates \p Count elements of T in \p Mem, word-aligned, and
+/// \returns a word pointer to the first.
+template <typename T, uint32_t WS = 4>
+WordPtr<T, WS> allocWordArray(WordMemory &Mem, uint32_t Count) {
+  uint64_t Bytes = uint64_t(Count) * sizeof(T);
+  uint32_t Words = static_cast<uint32_t>((Bytes + WS - 1) / WS);
+  return WordPtr<T, WS>(Mem.allocWords(Words));
+}
+
+} // namespace omm::wordaddr
+
+/// &p->Member as a typed, constant-offset pointer: the supported struct
+/// field idiom of Section 5.
+#define OMM_WORD_FIELD(Ptr, StructType, Member)                              \
+  (Ptr).template fieldPtr<decltype(StructType::Member),                     \
+                          offsetof(StructType, Member)>()
+
+#endif // OMM_WORDADDR_WORDPTR_H

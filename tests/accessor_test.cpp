@@ -1,0 +1,181 @@
+//===- tests/accessor_test.cpp - Accessor class tests ----------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/Accessors.h"
+#include "offload/Offload.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm::offload;
+using namespace omm::sim;
+
+TEST(ArrayAccessor, BulkReadMatchesMemory) {
+  Machine M;
+  OuterPtr<uint32_t> Array = allocOuterArray<uint32_t>(M, 256);
+  for (uint32_t I = 0; I != 256; ++I)
+    M.mainMemory().writeValue<uint32_t>(Array.addr() + I * 4, I * 3);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint32_t> Local(Ctx, Array, 256, AccessMode::ReadOnly);
+    for (uint32_t I = 0; I != 256; ++I)
+      ASSERT_EQ(Local.get(I), I * 3);
+  });
+}
+
+TEST(ArrayAccessor, SingleBulkTransferNotPerElement) {
+  Machine M;
+  OuterPtr<uint64_t> Array = allocOuterArray<uint64_t>(M, 512);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint64_t GetsBefore = Ctx.accel().Counters.DmaGetsIssued;
+    ArrayAccessor<uint64_t> Local(Ctx, Array, 512, AccessMode::ReadOnly);
+    for (uint32_t I = 0; I != 512; ++I)
+      (void)Local.get(I);
+    // 4 KiB in one getLarge (single chunk), not 512 transfers.
+    EXPECT_EQ(Ctx.accel().Counters.DmaGetsIssued - GetsBefore, 1u);
+  });
+}
+
+TEST(ArrayAccessor, ReadWriteCommitsOnDestruction) {
+  Machine M;
+  OuterPtr<uint32_t> Array = allocOuterArray<uint32_t>(M, 64);
+  for (uint32_t I = 0; I != 64; ++I)
+    M.mainMemory().writeValue<uint32_t>(Array.addr() + I * 4, I);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint32_t> Local(Ctx, Array, 64);
+    for (uint32_t I = 0; I != 64; ++I)
+      Local.update(I, [](uint32_t &Value) { Value *= 2; });
+  });
+
+  for (uint32_t I = 0; I != 64; ++I)
+    EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Array.addr() + I * 4),
+              I * 2);
+}
+
+TEST(ArrayAccessor, CommitIsIdempotent) {
+  Machine M;
+  OuterPtr<uint32_t> Array = allocOuterArray<uint32_t>(M, 16);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint32_t> Local(Ctx, Array, 16);
+    Local.set(0, 99);
+    Local.commit();
+    uint64_t Puts = Ctx.accel().Counters.DmaPutsIssued;
+    Local.commit(); // Second commit does nothing.
+    EXPECT_EQ(Ctx.accel().Counters.DmaPutsIssued, Puts);
+  });
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Array.addr()), 99u);
+}
+
+TEST(ArrayAccessor, ReadOnlyNeverWritesBack) {
+  Machine M;
+  OuterPtr<uint32_t> Array = allocOuterArray<uint32_t>(M, 16);
+  M.mainMemory().writeValue<uint32_t>(Array.addr(), 7);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint64_t Puts = Ctx.accel().Counters.DmaPutsIssued;
+    {
+      ArrayAccessor<uint32_t> Local(Ctx, Array, 16, AccessMode::ReadOnly);
+      (void)Local.get(0);
+    }
+    EXPECT_EQ(Ctx.accel().Counters.DmaPutsIssued, Puts);
+  });
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Array.addr()), 7u);
+}
+
+TEST(ArrayAccessor, WriteOnlySkipsInitialFetch) {
+  Machine M;
+  OuterPtr<uint64_t> Array = allocOuterArray<uint64_t>(M, 128);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint64_t Gets = Ctx.accel().Counters.DmaGetsIssued;
+    ArrayAccessor<uint64_t> Local(Ctx, Array, 128, AccessMode::WriteOnly);
+    // 128 * 8 = 1024 bytes, a 16-byte multiple: no tail fetch needed.
+    EXPECT_EQ(Ctx.accel().Counters.DmaGetsIssued, Gets);
+    for (uint32_t I = 0; I != 128; ++I)
+      Local.set(I, I + 1000);
+  });
+  for (uint32_t I = 0; I != 128; ++I)
+    EXPECT_EQ(M.mainMemory().readValue<uint64_t>(Array.addr() + I * 8),
+              I + 1000);
+}
+
+TEST(ArrayAccessor, WriteOnlyWithRaggedTailPreservesNeighbours) {
+  Machine M;
+  // 3 x 4 bytes = 12 bytes: the commit pads to 16; the neighbouring
+  // 4 bytes must survive.
+  GlobalAddr Block = M.allocGlobal(32);
+  M.mainMemory().writeValue<uint32_t>(Block + 12, 0xAABBCCDDu);
+  OuterPtr<uint32_t> Array(Block);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint32_t> Local(Ctx, Array, 3, AccessMode::WriteOnly);
+    Local.set(0, 1);
+    Local.set(1, 2);
+    Local.set(2, 3);
+  });
+
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Block), 1u);
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Block + 4), 2u);
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Block + 8), 3u);
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(Block + 12), 0xAABBCCDDu);
+}
+
+TEST(ArrayAccessor, RefreshPicksUpHostChanges) {
+  Machine M;
+  OuterPtr<uint32_t> Array = allocOuterArray<uint32_t>(M, 16);
+  M.mainMemory().writeValue<uint32_t>(Array.addr(), 1);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint32_t> Local(Ctx, Array, 16, AccessMode::ReadOnly);
+    EXPECT_EQ(Local.get(0), 1u);
+    // (Simulates a host-side update between offload phases.)
+    M.mainMemory().writeValue<uint32_t>(Array.addr(), 2);
+    EXPECT_EQ(Local.get(0), 1u); // Stale local copy.
+    Local.refresh();
+    EXPECT_EQ(Local.get(0), 2u);
+  });
+}
+
+TEST(ArrayAccessor, ElementAccessIsLocalCost) {
+  Machine M;
+  OuterPtr<uint32_t> Array = allocOuterArray<uint32_t>(M, 256);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint32_t> Local(Ctx, Array, 256, AccessMode::ReadOnly);
+    uint64_t Start = Ctx.clock().now();
+    for (uint32_t I = 0; I != 256; ++I)
+      (void)Local.get(I);
+    // 256 local reads at local cost; far below even one DMA latency.
+    EXPECT_EQ(Ctx.clock().now() - Start,
+              256 * M.config().LocalAccessCycles);
+  });
+}
+
+TEST(ValueAccessor, RoundTrip) {
+  Machine M;
+  OuterPtr<uint64_t> Value = allocOuter<uint64_t>(M);
+  Value.hostWrite(M, 41);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ValueAccessor<uint64_t> Local(Ctx, Value);
+    EXPECT_EQ(Local.get(), 41u);
+    Local.update([](uint64_t &V) { ++V; });
+  });
+  EXPECT_EQ(Value.hostRead(M), 42u);
+}
+
+TEST(ArrayAccessor, LargeArraySpansMultipleDmaChunks) {
+  Machine M;
+  constexpr uint32_t Count = 8192; // 64 KiB of uint64_t.
+  OuterPtr<uint64_t> Array = allocOuterArray<uint64_t>(M, Count);
+  for (uint32_t I = 0; I != Count; ++I)
+    M.mainMemory().writeValue<uint64_t>(Array.addr() + uint64_t(I) * 8, I);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    ArrayAccessor<uint64_t> Local(Ctx, Array, Count);
+    for (uint32_t I = 0; I < Count; I += 997)
+      ASSERT_EQ(Local.get(I), I);
+    Local.set(Count - 1, 0xFFFF);
+  });
+  EXPECT_EQ(M.mainMemory().readValue<uint64_t>(Array.addr() +
+                                               uint64_t(Count - 1) * 8),
+            0xFFFFu);
+}

@@ -1,0 +1,313 @@
+//===- tests/callgraph_test.cpp - Duplication analysis tests ---------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/OffloadClosure.h"
+
+#include "game/Components.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm;
+using namespace omm::callgraph;
+using namespace omm::domains;
+
+namespace {
+
+ArgBinding fwd(uint8_t Param) { return ArgBinding::fromParam(Param); }
+
+} // namespace
+
+TEST(Closure, RootOnly) {
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId Root = Program.addFunction("root", Unit, 1, 2048);
+  ClosureRequest Request;
+  Request.Root = Root;
+  Request.RootSig = DuplicateId::thisLocal();
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_TRUE(Result.isComplete());
+  EXPECT_EQ(Result.functionCount(), 1u);
+  EXPECT_EQ(Result.duplicateCount(), 1u);
+  EXPECT_EQ(Result.codeBytes(), 2048u);
+  EXPECT_TRUE(Result.requiresDuplicate(Root, DuplicateId::thisLocal()));
+  EXPECT_FALSE(Result.requiresDuplicate(Root, DuplicateId::thisOuter()));
+}
+
+TEST(Closure, TransitiveChain) {
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId A = Program.addFunction("a", Unit, 0);
+  FunctionId B = Program.addFunction("b", Unit, 0);
+  FunctionId C = Program.addFunction("c", Unit, 0);
+  FunctionId Unreached = Program.addFunction("unreached", Unit, 0);
+  Program.addCall(A, B, {});
+  Program.addCall(B, C, {});
+  ClosureRequest Request;
+  Request.Root = A;
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_EQ(Result.functionCount(), 3u);
+  EXPECT_FALSE(Result.requiresFunction(Unreached));
+}
+
+TEST(Closure, SignaturePropagationThroughForwarding) {
+  // a(p local, q outer) -> b(x = p), b -> c(y = x): c's duplicate must
+  // be (local); a second root signature flips it.
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId A = Program.addFunction("a", Unit, 2);
+  FunctionId B = Program.addFunction("b", Unit, 1);
+  FunctionId C = Program.addFunction("c", Unit, 1);
+  Program.addCall(A, B, {fwd(0)});
+  Program.addCall(B, C, {fwd(0)});
+
+  ClosureRequest Request;
+  Request.Root = A;
+  Request.RootSig = DuplicateId::of({MemSpace::Local, MemSpace::Outer});
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_TRUE(Result.requiresDuplicate(C, DuplicateId::thisLocal()));
+  EXPECT_FALSE(Result.requiresDuplicate(C, DuplicateId::thisOuter()));
+
+  Request.RootSig = DuplicateId::of({MemSpace::Outer, MemSpace::Local});
+  Result = computeOffloadClosure(Program, Request);
+  EXPECT_TRUE(Result.requiresDuplicate(C, DuplicateId::thisOuter()));
+}
+
+TEST(Closure, DistinctBindingsMakeDistinctDuplicates) {
+  // "distinct combinations of memory spaces in arguments require
+  // distinct duplicates" — one callee, called once with local and once
+  // with outer data.
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId Root = Program.addFunction("root", Unit, 0);
+  FunctionId Helper = Program.addFunction("helper", Unit, 1, 1000);
+  Program.addCall(Root, Helper, {ArgBinding::local()});
+  Program.addCall(Root, Helper, {ArgBinding::outer()});
+  ClosureRequest Request;
+  Request.Root = Root;
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_EQ(Result.functionCount(), 2u);
+  EXPECT_EQ(Result.duplicateCount(), 3u); // Root + two helper variants.
+  EXPECT_TRUE(Result.requiresDuplicate(Helper, DuplicateId::thisLocal()));
+  EXPECT_TRUE(Result.requiresDuplicate(Helper, DuplicateId::thisOuter()));
+  // Duplicated code is paid per duplicate.
+  EXPECT_EQ(Result.codeBytes(), 1024u + 2 * 1000u);
+}
+
+TEST(Closure, RecursionTerminates) {
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId A = Program.addFunction("a", Unit, 1);
+  FunctionId B = Program.addFunction("b", Unit, 1);
+  Program.addCall(A, B, {fwd(0)});
+  Program.addCall(B, A, {fwd(0)});   // Mutual recursion.
+  Program.addCall(A, A, {fwd(0)});   // Direct recursion.
+  ClosureRequest Request;
+  Request.Root = A;
+  Request.RootSig = DuplicateId::thisLocal();
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_EQ(Result.duplicateCount(), 2u);
+  EXPECT_TRUE(Result.isComplete());
+}
+
+TEST(Closure, SpaceFlippingRecursionProducesBothDuplicates) {
+  // f(p) calls itself with a block-local buffer: both duplicates of f
+  // are needed, and the fixpoint stops there.
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId F = Program.addFunction("f", Unit, 1);
+  Program.addCall(F, F, {ArgBinding::local()});
+  ClosureRequest Request;
+  Request.Root = F;
+  Request.RootSig = DuplicateId::thisOuter();
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_EQ(Result.duplicateCount(), 2u);
+}
+
+TEST(Closure, UnannotatedVirtualSiteIsDiagnosed) {
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId Root = Program.addFunction("root", Unit, 0);
+  VirtualSlotId Move = Program.addVirtualSlot("GameObject::move");
+  FunctionId SoldierMove = Program.addFunction("Soldier::move", Unit, 1);
+  Program.addOverride(Move, SoldierMove);
+  Program.addVirtualCall(Root, Move, {ArgBinding::outer()});
+
+  DiagSink Diags;
+  ClosureRequest Request;
+  Request.Root = Root;
+  ClosureResult Result = computeOffloadClosure(Program, Request, &Diags);
+  EXPECT_FALSE(Result.isComplete());
+  EXPECT_EQ(Result.unresolvedVirtualSites(), 1u);
+  EXPECT_FALSE(Result.requiresFunction(SoldierMove));
+  EXPECT_TRUE(Diags.containsMessage("GameObject::move"));
+  EXPECT_TRUE(Diags.containsMessage("not annotated"));
+}
+
+TEST(Closure, AnnotatedVirtualSiteEnumeratesOverrides) {
+  ProgramModel Program;
+  UnitId Unit = Program.addUnit("game.cpp");
+  FunctionId Root = Program.addFunction("root", Unit, 0);
+  VirtualSlotId Move = Program.addVirtualSlot("GameObject::move");
+  FunctionId SoldierMove = Program.addFunction("Soldier::move", Unit, 1);
+  FunctionId VehicleMove = Program.addFunction("Vehicle::move", Unit, 1);
+  Program.addOverride(Move, SoldierMove);
+  Program.addOverride(Move, VehicleMove);
+  Program.addVirtualCall(Root, Move, {ArgBinding::local()});
+
+  ClosureRequest Request;
+  Request.Root = Root;
+  Request.AnnotatedSlots = {Move};
+  ClosureResult Result = computeOffloadClosure(Program, Request);
+  EXPECT_TRUE(Result.isComplete());
+  EXPECT_TRUE(
+      Result.requiresDuplicate(SoldierMove, DuplicateId::thisLocal()));
+  EXPECT_TRUE(
+      Result.requiresDuplicate(VehicleMove, DuplicateId::thisLocal()));
+  EXPECT_EQ(Result.virtualAnnotationCount(), 2u);
+}
+
+TEST(Closure, UnavailableUnitIsDiagnosedAndProvidedDuplicateFixesIt) {
+  ProgramModel Program;
+  UnitId Game = Program.addUnit("game.cpp");
+  UnitId Middleware =
+      Program.addUnit("libphysics.a", /*SourceAvailable=*/false);
+  FunctionId Root = Program.addFunction("root", Game, 0);
+  FunctionId Solver = Program.addFunction("physicsSolve", Middleware, 0);
+  Program.addCall(Root, Solver, {});
+
+  DiagSink Diags;
+  ClosureRequest Request;
+  Request.Root = Root;
+  ClosureResult Result = computeOffloadClosure(Program, Request, &Diags);
+  EXPECT_FALSE(Result.isComplete());
+  EXPECT_EQ(Result.unavailableFunctions(), 1u);
+  EXPECT_TRUE(Diags.containsMessage("libphysics.a"));
+  EXPECT_FALSE(Result.requiresFunction(Solver));
+
+  Request.ProvidedDuplicates = {Solver};
+  ClosureResult Fixed = computeOffloadClosure(Program, Request);
+  EXPECT_TRUE(Fixed.isComplete());
+  EXPECT_TRUE(Fixed.requiresFunction(Solver));
+}
+
+//===----------------------------------------------------------------------===//
+// The component system as a program model: the analysis derives the
+// paper's annotation numbers (110 monolithic, max 40 specialised) from
+// the program structure alone.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ComponentProgram {
+  ProgramModel Program;
+  FunctionId MonolithicRoot;
+  std::vector<FunctionId> KindRoots;
+  std::vector<VirtualSlotId> AllSlots;           // Every dispatchable slot.
+  std::vector<std::vector<VirtualSlotId>> KindSlots; // Per-kind subset.
+
+  ComponentProgram() {
+    using game::ComponentSystem;
+    UnitId Unit = Program.addUnit("components.cpp");
+
+    // Shared service methods: one slot + one override each.
+    std::vector<VirtualSlotId> ServiceSlots;
+    for (unsigned S = 0; S != ComponentSystem::NumServiceMethods; ++S) {
+      VirtualSlotId Slot =
+          Program.addVirtualSlot("GameServices::svc" + std::to_string(S));
+      FunctionId Impl = Program.addFunction(
+          "GameServices::svc" + std::to_string(S), Unit, 1);
+      Program.addOverride(Slot, Impl);
+      ServiceSlots.push_back(Slot);
+    }
+
+    const auto &Kinds = ComponentSystem::kinds();
+    MonolithicRoot = Program.addFunction("updateAllComponents", Unit, 0);
+
+    for (unsigned K = 0; K != ComponentSystem::NumKinds; ++K) {
+      const auto &Spec = Kinds[K];
+      std::vector<VirtualSlotId> Slots;
+      std::vector<FunctionId> Methods;
+      for (unsigned MIdx = 0; MIdx != Spec.NumMethods; ++MIdx) {
+        std::string Name = std::string(Spec.Name) +
+                           (MIdx == 0 ? "::update"
+                                      : "::m" + std::to_string(MIdx));
+        VirtualSlotId Slot = Program.addVirtualSlot(Name);
+        FunctionId Fn = Program.addFunction(Name, Unit, 1);
+        Program.addOverride(Slot, Fn);
+        Slots.push_back(Slot);
+        Methods.push_back(Fn);
+      }
+      // update cascades: virtual sub-calls on the same object, then
+      // virtual service calls.
+      for (unsigned Sub = 1; Sub != Spec.NumMethods; ++Sub)
+        Program.addVirtualCall(Methods[0], Slots[Sub], {fwd(0)});
+      for (unsigned S = 0; S != Spec.ServicesUsed; ++S)
+        Program.addVirtualCall(Methods[0], ServiceSlots[S],
+                               {ArgBinding::outer()});
+
+      // Monolithic root dispatches update on outer objects.
+      Program.addVirtualCall(MonolithicRoot, Slots[0],
+                             {ArgBinding::outer()});
+
+      // Per-kind specialised root dispatches update on local copies.
+      FunctionId KindRoot = Program.addFunction(
+          std::string("update") + Spec.Name + "Batch", Unit, 0);
+      Program.addVirtualCall(KindRoot, Slots[0], {ArgBinding::local()});
+      KindRoots.push_back(KindRoot);
+
+      std::vector<VirtualSlotId> Mine = Slots;
+      for (unsigned S = 0; S != Spec.ServicesUsed; ++S)
+        Mine.push_back(ServiceSlots[S]);
+      KindSlots.push_back(Mine);
+      for (VirtualSlotId Slot : Slots)
+        AllSlots.push_back(Slot);
+    }
+    for (VirtualSlotId Slot : ServiceSlots)
+      AllSlots.push_back(Slot);
+  }
+};
+
+} // namespace
+
+TEST(ClosureComponentModel, MonolithicNeeds110Annotations) {
+  ComponentProgram Model;
+  ClosureRequest Request;
+  Request.Root = Model.MonolithicRoot;
+  Request.AnnotatedSlots = Model.AllSlots;
+  ClosureResult Result = computeOffloadClosure(Model.Program, Request);
+  EXPECT_TRUE(Result.isComplete());
+  EXPECT_EQ(Result.virtualAnnotationCount(), 110u);
+}
+
+TEST(ClosureComponentModel, SpecialisedMaximumIs40) {
+  ComponentProgram Model;
+  unsigned MaxAnnotations = 0;
+  for (unsigned K = 0; K != game::ComponentSystem::NumKinds; ++K) {
+    ClosureRequest Request;
+    Request.Root = Model.KindRoots[K];
+    Request.AnnotatedSlots = Model.KindSlots[K];
+    ClosureResult Result = computeOffloadClosure(Model.Program, Request);
+    EXPECT_TRUE(Result.isComplete());
+    MaxAnnotations =
+        std::max(MaxAnnotations, Result.virtualAnnotationCount());
+  }
+  EXPECT_EQ(MaxAnnotations, 40u);
+}
+
+TEST(ClosureComponentModel, UnannotatedMonolithicExplodesInDiagnostics) {
+  // What the paper's team saw first: offload the whole system and get
+  // told, method by method, what needs annotating.
+  ComponentProgram Model;
+  DiagSink Diags;
+  ClosureRequest Request;
+  Request.Root = Model.MonolithicRoot;
+  ClosureResult Result =
+      computeOffloadClosure(Model.Program, Request, &Diags);
+  EXPECT_FALSE(Result.isComplete());
+  EXPECT_EQ(Result.unresolvedVirtualSites(), 13u); // One per kind.
+  EXPECT_GE(Diags.errorCount(), 13u);
+}

@@ -1,0 +1,222 @@
+//===- tests/dmacheck_test.cpp - DMA race checker tests --------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dmacheck/DmaRaceChecker.h"
+
+#include "offload/Offload.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm;
+using namespace omm::dmacheck;
+using namespace omm::sim;
+
+namespace {
+
+class DmaCheckTest : public ::testing::Test {
+protected:
+  DmaCheckTest() : Checker(Diags) { M.setObserver(&Checker); }
+
+  Machine M;
+  DiagSink Diags;
+  DmaRaceChecker Checker;
+};
+
+} // namespace
+
+TEST_F(DmaCheckTest, CleanProgramReportsNothing) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(128);
+  LocalAddr L = A.Store.alloc(128);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.get(L + 64, G + 64, 64, 0); // Disjoint ranges: fine.
+  A.Dma.waitTag(0);
+  A.Dma.put(G, L, 128, 1);
+  A.Dma.waitTag(1);
+  EXPECT_EQ(Checker.raceCount(), 0u);
+}
+
+TEST_F(DmaCheckTest, OverlappingGetsRace) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(128);
+  LocalAddr L = A.Store.alloc(128);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.get(L + 32, G + 64, 64, 1); // Local ranges overlap: both write.
+  A.Dma.waitAll();
+  EXPECT_EQ(Checker.raceCount(RaceKind::TransferTransferLocal), 1u);
+  EXPECT_TRUE(Diags.containsMessage("DMA race in local store"));
+}
+
+TEST_F(DmaCheckTest, GetThenPutSameLocalRace) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(128);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.put(G + 64, L, 64, 1); // Reads local range the get is filling.
+  A.Dma.waitAll();
+  EXPECT_EQ(Checker.raceCount(RaceKind::TransferTransferLocal), 1u);
+}
+
+TEST_F(DmaCheckTest, OverlappingPutsInMainMemoryRace) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(128);
+  LocalAddr L = A.Store.alloc(128);
+  A.Dma.put(G, L, 64, 0);
+  A.Dma.put(G + 32, L + 64, 64, 1); // Global ranges overlap.
+  A.Dma.waitAll();
+  EXPECT_EQ(Checker.raceCount(RaceKind::TransferTransferGlobal), 1u);
+  EXPECT_TRUE(Diags.containsMessage("DMA race in main memory"));
+}
+
+TEST_F(DmaCheckTest, FencedSameTagOverlapIsOrdered) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  A.Dma.getFenced(L, G, 64, 0); // Fence on same tag: no race.
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(), 0u);
+}
+
+TEST_F(DmaCheckTest, BarrieredCrossTagOverlapIsOrdered) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  A.Dma.getBarrier(L, G, 64, 3); // Other tag, but barriered: ordered.
+  A.Dma.waitAll();
+  EXPECT_EQ(Checker.raceCount(), 0u);
+}
+
+TEST_F(DmaCheckTest, FenceDoesNotOrderAcrossTags) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  A.Dma.getFenced(L, G, 64, 3); // Fence is per-tag: still a race.
+  A.Dma.waitAll();
+  EXPECT_GE(Checker.raceCount(), 1u);
+}
+
+TEST_F(DmaCheckTest, UnfencedSameTagOverlapStillRaces) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  A.Dma.get(L, G, 64, 0); // Same tag but no fence: tags don't order.
+  A.Dma.waitTag(0);
+  EXPECT_GE(Checker.raceCount(), 1u);
+}
+
+TEST_F(DmaCheckTest, ReadBeforeWaitIsReported) {
+  // The Figure 1 bug class: touch the data before dma_wait.
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  if (DmaObserver *Obs = M.observer())
+    Obs->onLocalAccess(0, L, 4, /*IsWrite=*/false, A.Clock.now());
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(RaceKind::CoreAccessDuringGet), 1u);
+  EXPECT_TRUE(Diags.containsMessage("missing dma_wait"));
+}
+
+TEST_F(DmaCheckTest, WriteDuringPutIsReported) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  if (DmaObserver *Obs = M.observer())
+    Obs->onLocalAccess(0, L, 4, /*IsWrite=*/true, A.Clock.now());
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(RaceKind::CoreWriteDuringPut), 1u);
+}
+
+TEST_F(DmaCheckTest, ReadDuringPutIsFine) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  if (DmaObserver *Obs = M.observer())
+    Obs->onLocalAccess(0, L, 4, /*IsWrite=*/false, A.Clock.now());
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(), 0u);
+}
+
+TEST_F(DmaCheckTest, HostWriteUnderInFlightGetIsReported) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  M.hostWrite<uint32_t>(G, 7); // Host mutates the source mid-flight.
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(RaceKind::HostAccessDuringDma), 1u);
+}
+
+TEST_F(DmaCheckTest, HostReadUnderInFlightGetIsFine) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  (void)M.hostRead<uint32_t>(G); // Two readers: fine.
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(), 0u);
+}
+
+TEST_F(DmaCheckTest, HostTouchOfPutTargetIsReported) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  (void)M.hostRead<uint32_t>(G); // Reading bytes that may not be there.
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Checker.raceCount(RaceKind::HostAccessDuringDma), 1u);
+}
+
+TEST_F(DmaCheckTest, MissingWaitAtBlockEndIsReported) {
+  offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+    GlobalAddr G = M.allocGlobal(64);
+    LocalAddr L = Ctx.localAlloc(64);
+    Ctx.dmaGet(L, G, 64, 0);
+    // No dma_wait before the block ends.
+  });
+  EXPECT_EQ(Checker.raceCount(RaceKind::MissingWait), 1u);
+  EXPECT_TRUE(Diags.containsMessage("block ended with un-waited"));
+}
+
+TEST_F(DmaCheckTest, DifferentAcceleratorsShareOnlyMainMemory) {
+  Accelerator &A = M.accel(0);
+  Accelerator &B = M.accel(1);
+  GlobalAddr G = M.allocGlobal(128);
+  LocalAddr LA = A.Store.alloc(64);
+  LocalAddr LB = B.Store.alloc(64);
+  // Same *local* addresses on different accelerators never conflict.
+  A.Dma.get(LA, G, 64, 0);
+  B.Dma.get(LB, G, 64, 0); // Both read main memory: fine.
+  A.Dma.waitAll();
+  B.Dma.waitAll();
+  EXPECT_EQ(Checker.raceCount(), 0u);
+  // But a put racing a get across accelerators in main memory conflicts.
+  A.Dma.put(G, LA, 64, 0);
+  B.Dma.get(LB, G, 64, 0);
+  A.Dma.waitAll();
+  B.Dma.waitAll();
+  EXPECT_EQ(Checker.raceCount(RaceKind::TransferTransferGlobal), 1u);
+}
+
+TEST_F(DmaCheckTest, ResetForgetsState) {
+  Accelerator &A = M.accel(0);
+  GlobalAddr G = M.allocGlobal(64);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.put(G, L, 64, 0);
+  A.Dma.put(G, L, 64, 1);
+  A.Dma.waitAll();
+  EXPECT_GT(Checker.raceCount(), 0u);
+  Checker.reset();
+  EXPECT_EQ(Checker.raceCount(), 0u);
+}

@@ -1,0 +1,163 @@
+//===- tests/doublebuffer_test.cpp - Double-buffered streaming tests -------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/DoubleBuffer.h"
+#include "offload/Offload.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace omm::offload;
+using namespace omm::sim;
+
+namespace {
+
+struct Item {
+  uint64_t Key;
+  uint64_t Value;
+};
+
+/// (Count, ChunkElems) sweep for the streaming property tests.
+struct StreamCase {
+  uint32_t Count;
+  uint32_t ChunkElems;
+};
+
+class DoubleBufferSweep : public ::testing::TestWithParam<StreamCase> {};
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DoubleBufferSweep,
+    ::testing::Values(StreamCase{1, 8}, StreamCase{7, 8}, StreamCase{8, 8},
+                      StreamCase{9, 8}, StreamCase{64, 8},
+                      StreamCase{65, 16}, StreamCase{1000, 32},
+                      StreamCase{1000, 1}, StreamCase{3, 1000}),
+    [](const auto &Info) {
+      return "n" + std::to_string(Info.param.Count) + "_c" +
+             std::to_string(Info.param.ChunkElems);
+    });
+
+TEST_P(DoubleBufferSweep, ForEachVisitsEveryElementOnce) {
+  Machine M;
+  auto [Count, Chunk] = GetParam();
+  OuterPtr<Item> Array = allocOuterArray<Item>(M, Count);
+  for (uint32_t I = 0; I != Count; ++I)
+    M.mainMemory().writeValue(Array.addr() + uint64_t(I) * sizeof(Item),
+                              Item{I, I * 7ull});
+
+  std::vector<bool> Seen(Count, false);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    forEachDoubleBuffered<Item>(
+        Ctx, Array, Count, Chunk, [&](ChunkView<Item> &View) {
+          for (uint32_t I = 0, E = View.size(); I != E; ++I) {
+            Item It = View.get(I);
+            uint32_t Global = View.firstIndex() + I;
+            ASSERT_LT(Global, Count);
+            ASSERT_EQ(It.Key, Global);
+            ASSERT_EQ(It.Value, Global * 7ull);
+            ASSERT_FALSE(Seen[Global]) << "visited twice";
+            Seen[Global] = true;
+          }
+        });
+  });
+  for (uint32_t I = 0; I != Count; ++I)
+    EXPECT_TRUE(Seen[I]) << "element " << I << " not visited";
+}
+
+TEST_P(DoubleBufferSweep, TransformMatchesSequentialReference) {
+  Machine M;
+  auto [Count, Chunk] = GetParam();
+  OuterPtr<Item> Array = allocOuterArray<Item>(M, Count);
+  std::vector<Item> Reference(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    Item It{I * 3ull, I};
+    Reference[I] = It;
+    M.mainMemory().writeValue(Array.addr() + uint64_t(I) * sizeof(Item),
+                              It);
+  }
+
+  auto Mutate = [](Item &It) {
+    It.Value = It.Value * 2 + It.Key;
+    It.Key ^= 0xF0F0F0F0ull;
+  };
+  for (Item &It : Reference)
+    Mutate(It);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    transformDoubleBuffered<Item>(Ctx, Array, Count, Chunk,
+                                  [&](ChunkView<Item> &View) {
+                                    for (uint32_t I = 0, E = View.size();
+                                         I != E; ++I)
+                                      View.update(I, Mutate);
+                                  });
+  });
+
+  for (uint32_t I = 0; I != Count; ++I) {
+    Item Got = M.mainMemory().readValue<Item>(Array.addr() +
+                                              uint64_t(I) * sizeof(Item));
+    ASSERT_EQ(Got.Key, Reference[I].Key) << I;
+    ASSERT_EQ(Got.Value, Reference[I].Value) << I;
+  }
+}
+
+TEST(DoubleBuffer, EmptyStreamIsNoop) {
+  Machine M;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    bool Called = false;
+    forEachDoubleBuffered<Item>(Ctx, OuterPtr<Item>(), 0, 8,
+                                [&](ChunkView<Item> &) { Called = true; });
+    transformDoubleBuffered<Item>(Ctx, OuterPtr<Item>(), 0, 8,
+                                  [&](ChunkView<Item> &) { Called = true; });
+    EXPECT_FALSE(Called);
+  });
+}
+
+TEST(DoubleBuffer, PrefetchOverlapsCompute) {
+  // With heavy per-chunk compute, the stream's transfers hide behind
+  // compute: total time approaches pure compute plus one cold fetch.
+  Machine M;
+  constexpr uint32_t Count = 512;
+  constexpr uint32_t Chunk = 64;
+  constexpr uint64_t ComputePerChunk = 20000;
+  OuterPtr<Item> Array = allocOuterArray<Item>(M, Count);
+
+  uint64_t Streamed = 0;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint64_t Start = Ctx.clock().now();
+    forEachDoubleBuffered<Item>(Ctx, Array, Count, Chunk,
+                                [&](ChunkView<Item> &) {
+                                  Ctx.compute(ComputePerChunk);
+                                });
+    Streamed = Ctx.clock().now() - Start;
+  });
+
+  uint64_t Chunks = Count / Chunk;
+  uint64_t PureCompute = Chunks * ComputePerChunk;
+  uint64_t OneFetch =
+      M.config().DmaLatencyCycles +
+      Chunk * sizeof(Item) / M.config().DmaBytesPerCycle;
+  EXPECT_GE(Streamed, PureCompute);
+  // All but the first fetch hide behind compute.
+  EXPECT_LE(Streamed, PureCompute + OneFetch + Chunks * 64);
+}
+
+TEST(DoubleBuffer, ChunkViewAddressesAreWithinLocalStore) {
+  Machine M;
+  OuterPtr<Item> Array = allocOuterArray<Item>(M, 64);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    forEachDoubleBuffered<Item>(
+        Ctx, Array, 64, 16, [&](ChunkView<Item> &View) {
+          for (uint32_t I = 0; I != View.size(); ++I) {
+            LocalAddr Addr = View.addrOf(I);
+            EXPECT_TRUE(
+                Ctx.accel().Store.contains(Addr, sizeof(Item)));
+          }
+        });
+  });
+}

@@ -1,0 +1,166 @@
+//===- tests/game_ai_test.cpp - AI behaviour-tree tests --------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/AI.h"
+#include "game/EntityStore.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm::game;
+using namespace omm::sim;
+
+namespace {
+
+GameEntity makeSoldier() {
+  GameEntity E{};
+  E.Id = 1;
+  E.Kind = EntityKind::Soldier;
+  E.Health = 100.0f;
+  E.Speed = 4.0f;
+  E.Aggression = 0.5f;
+  E.Radius = 1.0f;
+  E.TargetId = NoTarget;
+  return E;
+}
+
+TargetInfo targetAt(const Vec3 &Position, uint32_t Id = 9) {
+  return TargetInfo{Position, Id};
+}
+
+} // namespace
+
+TEST(AiStrategy, PickupsIdle) {
+  GameEntity E = makeSoldier();
+  E.Kind = EntityKind::Pickup;
+  E.Velocity = Vec3(5, 5, 5);
+  calculateStrategy(E, targetAt(Vec3(1, 0, 0)), 0.033f, AiParams());
+  EXPECT_EQ(E.State, AiState::Idle);
+  EXPECT_EQ(E.Velocity, Vec3());
+}
+
+TEST(AiStrategy, HurtEntitiesFlee) {
+  GameEntity E = makeSoldier();
+  E.Health = 10.0f; // Below the 25% flee threshold.
+  E.Aggression = 0.5f;
+  calculateStrategy(E, targetAt(Vec3(10, 0, 0)), 0.033f, AiParams());
+  EXPECT_EQ(E.State, AiState::Flee);
+  EXPECT_LT(E.Velocity.X, 0.0f); // Moving away from the target.
+  EXPECT_EQ(E.TargetId, NoTarget);
+}
+
+TEST(AiStrategy, BraveHurtEntitiesKeepFighting) {
+  GameEntity E = makeSoldier();
+  E.Health = 10.0f;
+  E.Aggression = 0.95f; // Over the bravery threshold.
+  calculateStrategy(E, targetAt(Vec3(3, 0, 0)), 0.033f, AiParams());
+  EXPECT_NE(E.State, AiState::Flee);
+}
+
+TEST(AiStrategy, CloseTargetsGetAttacked) {
+  GameEntity E = makeSoldier();
+  calculateStrategy(E, targetAt(Vec3(2, 0, 0), 42), 0.033f, AiParams());
+  EXPECT_EQ(E.State, AiState::Attack);
+  EXPECT_EQ(E.TargetId, 42u);
+}
+
+TEST(AiStrategy, MidRangeTargetsAreSought) {
+  GameEntity E = makeSoldier();
+  E.Aggression = 0.6f;
+  calculateStrategy(E, targetAt(Vec3(20, 0, 0), 42), 0.033f, AiParams());
+  EXPECT_EQ(E.State, AiState::Seek);
+  EXPECT_EQ(E.TargetId, 42u);
+  EXPECT_GT(E.Velocity.X, 0.0f); // Toward the target.
+}
+
+TEST(AiStrategy, FarTargetsMeanPatrol) {
+  GameEntity E = makeSoldier();
+  calculateStrategy(E, targetAt(Vec3(500, 0, 0)), 0.033f, AiParams());
+  EXPECT_EQ(E.State, AiState::Patrol);
+  EXPECT_EQ(E.TargetId, NoTarget);
+}
+
+TEST(AiStrategy, CooldownTicksDown) {
+  GameEntity E = makeSoldier();
+  E.Cooldown = 0.1f;
+  AiParams Params;
+  calculateStrategy(E, targetAt(Vec3(500, 0, 0)), 0.033f, Params);
+  EXPECT_NEAR(E.Cooldown, 0.1f - 0.033f, 1e-5f);
+  // Once expired, a re-plan resets it.
+  E.Cooldown = 0.0f;
+  calculateStrategy(E, targetAt(Vec3(500, 0, 0)), 0.033f, Params);
+  EXPECT_NEAR(E.Cooldown, Params.ReplanInterval, 1e-5f);
+}
+
+TEST(AiStrategy, DeterministicAcrossCalls) {
+  GameEntity A = makeSoldier();
+  GameEntity B = makeSoldier();
+  for (int I = 0; I != 50; ++I) {
+    AiDecision DA =
+        calculateStrategy(A, targetAt(Vec3(15, 5, 0)), 0.033f, AiParams());
+    AiDecision DB =
+        calculateStrategy(B, targetAt(Vec3(15, 5, 0)), 0.033f, AiParams());
+    ASSERT_EQ(DA.NodesEvaluated, DB.NodesEvaluated);
+  }
+  uint64_t HA = A.mixInto(1);
+  uint64_t HB = B.mixInto(1);
+  EXPECT_EQ(HA, HB);
+}
+
+TEST(AiStrategy, NodeCountsAreBounded) {
+  // Every path through the tree visits at least 2 and at most 12 nodes;
+  // the cost model depends on this staying sane.
+  GameEntity E = makeSoldier();
+  for (float X : {0.5f, 3.0f, 20.0f, 100.0f, 1000.0f}) {
+    AiDecision D =
+        calculateStrategy(E, targetAt(Vec3(X, 0, 0)), 0.033f, AiParams());
+    EXPECT_GE(D.NodesEvaluated, 2u);
+    EXPECT_LE(D.NodesEvaluated, 12u);
+  }
+}
+
+TEST(AiTargets, DefaultAssignmentIsStableAndInRange) {
+  for (uint32_t Count : {1u, 2u, 10u, 1000u}) {
+    for (uint32_t Id = 0; Id != std::min(Count * 2, 100u); ++Id) {
+      uint32_t T1 = defaultTargetFor(Id, Count);
+      uint32_t T2 = defaultTargetFor(Id, Count);
+      EXPECT_EQ(T1, T2);
+      EXPECT_LT(T1, Count);
+    }
+  }
+}
+
+TEST(EntityStore, SpawnIsSeedDeterministic) {
+  Machine M1, M2;
+  EntityStore A(M1, 100, 42);
+  EntityStore B(M2, 100, 42);
+  EXPECT_EQ(A.checksum(), B.checksum());
+  Machine M3;
+  EntityStore C(M3, 100, 43);
+  EXPECT_NE(A.checksum(), C.checksum());
+}
+
+TEST(EntityStore, EntitiesAreInsideTheWorld) {
+  Machine M;
+  EntityStore Store(M, 500, 7, 50.0f);
+  for (uint32_t I = 0; I != 500; ++I) {
+    GameEntity E = Store.peek(I);
+    EXPECT_EQ(E.Id, I);
+    EXPECT_LE(std::abs(E.Position.X), 50.0f);
+    EXPECT_LE(std::abs(E.Position.Y), 50.0f);
+    EXPECT_LE(std::abs(E.Position.Z), 50.0f);
+    EXPECT_GT(E.Health, 0.0f);
+  }
+}
+
+TEST(EntityStore, HostReadWriteRoundTrip) {
+  Machine M;
+  EntityStore Store(M, 10, 7);
+  GameEntity E = Store.read(3);
+  E.Health = 1234.0f;
+  Store.write(3, E);
+  EXPECT_EQ(Store.read(3).Health, 1234.0f);
+}

@@ -1,0 +1,264 @@
+//===- tests/game_collision_test.cpp - Collision pipeline tests ------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/Collision.h"
+
+#include "dmacheck/DmaRaceChecker.h"
+#include "offload/Offload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+TEST(CollisionResponse, NonOverlappingPairsUntouched) {
+  GameEntity A{}, B{};
+  A.Position = Vec3(0, 0, 0);
+  A.Radius = 1.0f;
+  B.Position = Vec3(10, 0, 0);
+  B.Radius = 1.0f;
+  GameEntity A0 = A, B0 = B;
+  EXPECT_FALSE(respondToCollision(A, B));
+  EXPECT_EQ(A.mixInto(1), A0.mixInto(1));
+  EXPECT_EQ(B.mixInto(1), B0.mixInto(1));
+}
+
+TEST(CollisionResponse, OverlappingPairsSeparate) {
+  GameEntity A{}, B{};
+  A.Position = Vec3(0, 0, 0);
+  A.Radius = 1.0f;
+  B.Position = Vec3(1, 0, 0); // Overlap of 1 unit.
+  B.Radius = 1.0f;
+  EXPECT_TRUE(respondToCollision(A, B));
+  float Dist = (B.Position - A.Position).length();
+  EXPECT_NEAR(Dist, A.Radius + B.Radius, 1e-4f);
+  EXPECT_EQ(A.HitCount, 1u);
+  EXPECT_EQ(B.HitCount, 1u);
+  EXPECT_LT(A.Health, 0.01f); // Damage applied (started at 0).
+}
+
+TEST(CollisionResponse, MomentumExchangeIsSymmetric) {
+  GameEntity A{}, B{};
+  A.Position = Vec3(0, 0, 0);
+  A.Radius = 1.0f;
+  A.Velocity = Vec3(2, 0, 0);
+  B.Position = Vec3(1.5f, 0, 0);
+  B.Radius = 1.0f;
+  B.Velocity = Vec3(-2, 0, 0);
+  Vec3 TotalBefore = A.Velocity + B.Velocity;
+  EXPECT_TRUE(respondToCollision(A, B));
+  Vec3 TotalAfter = A.Velocity + B.Velocity;
+  // Equal masses, equal-and-opposite impulse: total momentum conserved.
+  EXPECT_NEAR(TotalBefore.X, TotalAfter.X, 1e-4f);
+  EXPECT_NEAR(TotalBefore.Y, TotalAfter.Y, 1e-4f);
+  // The approach speed decreased.
+  EXPECT_LT(std::abs((B.Velocity - A.Velocity).X),
+            std::abs(4.0f));
+}
+
+TEST(CollisionResponse, CoincidentCentersStillSeparate) {
+  GameEntity A{}, B{};
+  A.Position = B.Position = Vec3(5, 5, 5);
+  A.Radius = B.Radius = 1.0f;
+  EXPECT_TRUE(respondToCollision(A, B));
+  EXPECT_GT((B.Position - A.Position).length(), 1.0f);
+}
+
+namespace {
+
+/// A world with two known overlapping entities and the rest far away.
+struct PairedWorld {
+  PairedWorld() : Store(M, 64, 99, 400.0f) {
+    GameEntity A = Store.peek(0);
+    A.Position = Vec3(0, 0, 0);
+    A.Radius = 2.0f;
+    Store.poke(0, A);
+    GameEntity B = Store.peek(1);
+    B.Position = Vec3(1, 0, 0);
+    B.Radius = 2.0f;
+    Store.poke(1, B);
+  }
+
+  Machine M;
+  EntityStore Store;
+};
+
+} // namespace
+
+TEST(Broadphase, FindsKnownOverlap) {
+  PairedWorld World;
+  auto Pairs = broadphaseHost(World.Store, CollisionParams());
+  bool Found = false;
+  for (const CollisionPair &Pair : Pairs)
+    if (Pair.FirstId == 0 && Pair.SecondId == 1)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Broadphase, PairsAreCanonicalAndUnique) {
+  Machine M;
+  EntityStore Store(M, 300, 5, 30.0f); // Dense world: many pairs.
+  auto Pairs = broadphaseHost(Store, CollisionParams());
+  ASSERT_FALSE(Pairs.empty());
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  for (const CollisionPair &Pair : Pairs) {
+    EXPECT_LT(Pair.FirstId, Pair.SecondId);
+    EXPECT_TRUE(Seen.insert({Pair.FirstId, Pair.SecondId}).second)
+        << "duplicate pair";
+  }
+}
+
+TEST(Broadphase, ChargesHostTime) {
+  Machine M;
+  EntityStore Store(M, 100, 5, 30.0f);
+  uint64_t Before = M.hostClock().now();
+  broadphaseHost(Store, CollisionParams());
+  EXPECT_GT(M.hostClock().now(), Before);
+}
+
+TEST(DetectContacts, FiltersToExactOverlaps) {
+  PairedWorld World;
+  CollisionParams Params;
+  auto Candidates = broadphaseHost(World.Store, Params);
+  auto Contacts = detectContactsHost(World.Store, Candidates, Params);
+  EXPECT_LE(Contacts.size(), Candidates.size());
+  bool Found = false;
+  for (const CollisionPair &Pair : Contacts)
+    if (Pair.FirstId == 0 && Pair.SecondId == 1)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+namespace {
+
+/// Runs narrowphase on two identical worlds, host vs offload style, and
+/// expects identical final state.
+void compareHostAndOffloadNarrowphase(DmaStyle Style) {
+  CollisionParams Params;
+
+  Machine MHost;
+  EntityStore HostStore(MHost, 200, 17, 25.0f);
+  auto Pairs = broadphaseHost(HostStore, Params);
+  ASSERT_FALSE(Pairs.empty());
+  uint32_t HostContacts = narrowphaseHost(HostStore, Pairs, Params);
+  uint64_t HostChecksum = HostStore.checksum();
+
+  Machine MAccel;
+  EntityStore AccelStore(MAccel, 200, 17, 25.0f);
+  auto AccelPairs = broadphaseHost(AccelStore, Params);
+  ASSERT_EQ(AccelPairs.size(), Pairs.size());
+  GlobalAddr PairsAddr = materializePairs(MAccel, AccelPairs);
+  uint32_t AccelContacts = 0;
+  offload::offloadSync(MAccel, [&](offload::OffloadContext &Ctx) {
+    AccelContacts = narrowphaseOffload(
+        Ctx, PairsAddr, static_cast<uint32_t>(AccelPairs.size()), Params,
+        Style);
+  });
+
+  EXPECT_EQ(HostContacts, AccelContacts);
+  EXPECT_EQ(HostChecksum, AccelStore.checksum());
+}
+
+} // namespace
+
+TEST(Narrowphase, OffloadOverlappedMatchesHost) {
+  compareHostAndOffloadNarrowphase(DmaStyle::OverlappedTags);
+}
+
+TEST(Narrowphase, OffloadSerialisedMatchesHost) {
+  compareHostAndOffloadNarrowphase(DmaStyle::Serialised);
+}
+
+TEST(Narrowphase, OffloadDmaListMatchesHost) {
+  compareHostAndOffloadNarrowphase(DmaStyle::DmaList);
+}
+
+TEST(Narrowphase, DmaListBeatsOverlappedTags) {
+  // One getl command per pair: a single startup latency where the
+  // overlapped idiom pipelines two.
+  CollisionParams Params;
+  uint64_t Times[2];
+  for (int Case = 0; Case != 2; ++Case) {
+    Machine M;
+    EntityStore Store(M, 200, 17, 25.0f);
+    auto Pairs = broadphaseHost(Store, Params);
+    GlobalAddr PairsAddr = materializePairs(M, Pairs);
+    offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+      uint64_t Start = Ctx.clock().now();
+      narrowphaseOffload(Ctx, PairsAddr,
+                         static_cast<uint32_t>(Pairs.size()), Params,
+                         Case == 0 ? DmaStyle::DmaList
+                                   : DmaStyle::OverlappedTags);
+      Times[Case] = Ctx.clock().now() - Start;
+    });
+  }
+  EXPECT_LT(Times[0], Times[1]);
+}
+
+TEST(Narrowphase, OverlappedTagsAreFasterThanSerialised) {
+  CollisionParams Params;
+  uint64_t Times[2];
+  for (int Case = 0; Case != 2; ++Case) {
+    Machine M;
+    EntityStore Store(M, 200, 17, 25.0f);
+    auto Pairs = broadphaseHost(Store, Params);
+    GlobalAddr PairsAddr = materializePairs(M, Pairs);
+    offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+      uint64_t Start = Ctx.clock().now();
+      narrowphaseOffload(Ctx, PairsAddr,
+                         static_cast<uint32_t>(Pairs.size()), Params,
+                         Case == 0 ? DmaStyle::OverlappedTags
+                                   : DmaStyle::Serialised);
+      Times[Case] = Ctx.clock().now() - Start;
+    });
+  }
+  EXPECT_LT(Times[0], Times[1]);
+}
+
+TEST(Narrowphase, MissingWaitIsCaughtByChecker) {
+  // Figure 1 with the dma_wait omitted: the functional result is still
+  // produced (the simulator copies eagerly) but the race checker reports
+  // the read-before-wait on e1/e2.
+  Machine M;
+  DiagSink Diags;
+  dmacheck::DmaRaceChecker Checker(Diags);
+  M.setObserver(&Checker);
+
+  EntityStore Store(M, 64, 23, 10.0f);
+  CollisionParams Params;
+  auto Pairs = broadphaseHost(Store, Params);
+  ASSERT_FALSE(Pairs.empty());
+  GlobalAddr PairsAddr = materializePairs(M, Pairs);
+  offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+    narrowphaseOffload(Ctx, PairsAddr,
+                       static_cast<uint32_t>(Pairs.size()), Params,
+                       DmaStyle::MissingWait);
+  });
+  EXPECT_GT(Checker.raceCount(dmacheck::RaceKind::CoreAccessDuringGet), 0u);
+  EXPECT_TRUE(Diags.containsMessage("missing dma_wait"));
+}
+
+TEST(Narrowphase, CorrectStylesAreCheckerClean) {
+  Machine M;
+  DiagSink Diags;
+  dmacheck::DmaRaceChecker Checker(Diags);
+  M.setObserver(&Checker);
+
+  EntityStore Store(M, 64, 23, 10.0f);
+  CollisionParams Params;
+  auto Pairs = broadphaseHost(Store, Params);
+  GlobalAddr PairsAddr = materializePairs(M, Pairs);
+  offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+    narrowphaseOffload(Ctx, PairsAddr,
+                       static_cast<uint32_t>(Pairs.size()), Params,
+                       DmaStyle::OverlappedTags);
+  });
+  EXPECT_EQ(Checker.raceCount(), 0u) << "Figure 1 idiom must be race-free";
+}

@@ -1,0 +1,176 @@
+//===- tests/game_navigation_test.cpp - Pathfinding tests ------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/Navigation.h"
+
+#include "offload/Offload.h"
+#include "offload/SetAssociativeCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+namespace {
+
+/// A hand-built 8x8 grid with a wall forcing a detour.
+struct SmallMap {
+  SmallMap() : Grid(M, 8, 8, /*Seed=*/1) {
+    // Uniform cost 1 everywhere, then a vertical wall at x=4 with a
+    // gap at y=7.
+    for (uint32_t Cell = 0; Cell != Grid.numCells(); ++Cell)
+      Grid.poke(Cell, 1);
+    for (uint32_t Y = 0; Y != 7; ++Y)
+      Grid.poke(Grid.cellOf(4, Y), NavGrid::Wall);
+  }
+  Machine M;
+  NavGrid Grid;
+};
+
+} // namespace
+
+TEST(NavGrid, GenerationIsSeedDeterministic) {
+  Machine M1, M2;
+  NavGrid A(M1, 32, 32, 7);
+  NavGrid B(M2, 32, 32, 7);
+  for (uint32_t Cell = 0; Cell != A.numCells(); ++Cell)
+    ASSERT_EQ(A.peek(Cell), B.peek(Cell));
+  Machine M3;
+  NavGrid C(M3, 32, 32, 8);
+  bool AnyDifferent = false;
+  for (uint32_t Cell = 0; Cell != A.numCells(); ++Cell)
+    AnyDifferent |= A.peek(Cell) != C.peek(Cell);
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(NavGrid, EndpointsAreKeptClear) {
+  Machine M;
+  NavGrid Grid(M, 32, 32, 99);
+  EXPECT_NE(Grid.peek(Grid.cellOf(0, 0)), NavGrid::Wall);
+  EXPECT_NE(Grid.peek(Grid.cellOf(31, 31)), NavGrid::Wall);
+}
+
+TEST(AStar, FindsStraightLineOnUniformGrid) {
+  Machine M;
+  NavGrid Grid(M, 8, 8, 1);
+  for (uint32_t Cell = 0; Cell != Grid.numCells(); ++Cell)
+    Grid.poke(Cell, 1);
+  PathResult Result =
+      findPathHost(Grid, Grid.cellOf(0, 0), Grid.cellOf(7, 0), NavParams());
+  ASSERT_TRUE(Result.Found);
+  EXPECT_EQ(Result.TotalCost, 7u); // Seven entered cells at cost 1.
+  EXPECT_EQ(Result.PathLength, 8u);
+}
+
+TEST(AStar, RoutesAroundWalls) {
+  SmallMap Map;
+  PathResult Result = findPathHost(Map.Grid, Map.Grid.cellOf(0, 0),
+                                   Map.Grid.cellOf(7, 0), NavParams());
+  ASSERT_TRUE(Result.Found);
+  // Detour through the gap at y=7: down 7, across, up 7 => cost >= 21.
+  EXPECT_GE(Result.TotalCost, 21u);
+  // The path never crosses the wall.
+  for (uint32_t Cell : Result.Path)
+    EXPECT_NE(Map.Grid.peek(Cell), NavGrid::Wall);
+}
+
+TEST(AStar, ReportsUnreachableGoals) {
+  Machine M;
+  NavGrid Grid(M, 8, 8, 1);
+  for (uint32_t Cell = 0; Cell != Grid.numCells(); ++Cell)
+    Grid.poke(Cell, 1);
+  for (uint32_t Y = 0; Y != 8; ++Y) // Complete wall: no gap.
+    Grid.poke(Grid.cellOf(4, Y), NavGrid::Wall);
+  PathResult Result =
+      findPathHost(Grid, Grid.cellOf(0, 0), Grid.cellOf(7, 7), NavParams());
+  EXPECT_FALSE(Result.Found);
+  EXPECT_GT(Result.CellsExpanded, 0u);
+}
+
+TEST(AStar, PathEndpointsAndContinuity) {
+  Machine M;
+  NavGrid Grid(M, 48, 48, 0xAB);
+  PathResult Result = findPathHost(Grid, Grid.cellOf(0, 0),
+                                   Grid.cellOf(47, 47), NavParams());
+  ASSERT_TRUE(Result.Found);
+  EXPECT_EQ(Result.Path.front(), Grid.cellOf(47, 47));
+  EXPECT_EQ(Result.Path.back(), Grid.cellOf(0, 0));
+  for (size_t I = 1; I != Result.Path.size(); ++I) {
+    uint32_t A = Result.Path[I - 1];
+    uint32_t B = Result.Path[I];
+    uint32_t Ax = A % 48, Ay = A / 48, Bx = B % 48, By = B / 48;
+    uint32_t Manhattan = (Ax > Bx ? Ax - Bx : Bx - Ax) +
+                         (Ay > By ? Ay - By : By - Ay);
+    ASSERT_EQ(Manhattan, 1u) << "path discontinuity at step " << I;
+  }
+}
+
+TEST(AStar, HostAndOffloadSearchesAreIdentical) {
+  for (uint64_t Seed : {1ull, 7ull, 0xFEEDull}) {
+    Machine M;
+    NavGrid Grid(M, 40, 40, Seed);
+    uint32_t Start = Grid.cellOf(0, 0);
+    uint32_t Goal = Grid.cellOf(39, 39);
+
+    PathResult Host = findPathHost(Grid, Start, Goal, NavParams());
+    PathResult Accel;
+    offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+      offload::SetAssociativeCache Cache(Ctx, {128, 16, 4, 16});
+      Ctx.bindCache(&Cache);
+      Accel = findPathOffload(Ctx, Grid, Start, Goal, NavParams());
+      Ctx.bindCache(nullptr);
+    });
+    EXPECT_TRUE(Host == Accel) << "seed " << Seed;
+  }
+}
+
+TEST(AStar, CachedSearchBeatsUncachedOnTheAccelerator) {
+  Machine M;
+  NavGrid Grid(M, 40, 40, 0xBEE);
+  uint32_t Start = Grid.cellOf(0, 0);
+  uint32_t Goal = Grid.cellOf(39, 39);
+  uint64_t Uncached = 0, Cached = 0;
+  offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+    uint64_t T0 = Ctx.clock().now();
+    (void)findPathOffload(Ctx, Grid, Start, Goal, NavParams());
+    Uncached = Ctx.clock().now() - T0;
+
+    offload::SetAssociativeCache Cache(Ctx, {128, 16, 4, 16});
+    Ctx.bindCache(&Cache);
+    T0 = Ctx.clock().now();
+    (void)findPathOffload(Ctx, Grid, Start, Goal, NavParams());
+    Cached = Ctx.clock().now() - T0;
+    Ctx.bindCache(nullptr);
+  });
+  // A* re-reads neighbouring cells heavily; the cache should win big.
+  EXPECT_LT(Cached * 3, Uncached);
+}
+
+TEST(AStar, LocalStoreFootprintIsAccounted) {
+  Machine M;
+  NavGrid Grid(M, 64, 64, 5);
+  offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+    uint32_t FreeBefore = Ctx.accel().Store.bytesFree();
+    (void)findPathOffload(Ctx, Grid, 0, Grid.numCells() - 1, NavParams());
+    // The query's working set was released on return (LocalScope)...
+    EXPECT_EQ(Ctx.accel().Store.bytesFree(), FreeBefore);
+    // ...but its peak occupancy was modelled.
+    EXPECT_GE(Ctx.accel().Store.peakUsage(), 64u * 64u * 9u);
+  });
+}
+
+TEST(AStar, SearchCostsAreCharged) {
+  Machine M;
+  NavGrid Grid(M, 32, 32, 3);
+  uint64_t Before = M.hostClock().now();
+  PathResult Result =
+      findPathHost(Grid, 0, Grid.numCells() - 1, NavParams());
+  uint64_t Elapsed = M.hostClock().now() - Before;
+  ASSERT_TRUE(Result.Found);
+  EXPECT_GE(Elapsed, Result.CellsExpanded * NavParams().CyclesPerExpand);
+}

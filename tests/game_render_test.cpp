@@ -1,0 +1,113 @@
+//===- tests/game_render_test.cpp - Render command generation tests --------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/Render.h"
+
+#include "offload/Offload.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+namespace {
+
+GameEntity entityAt(Vec3 Position, uint32_t Id = 1) {
+  GameEntity E{};
+  E.Position = Position;
+  E.Radius = 1.0f;
+  E.Health = 50.0f;
+  E.Id = Id;
+  E.Kind = EntityKind::Soldier;
+  return E;
+}
+
+} // namespace
+
+TEST(EncodeRenderCommand, EmitsForVisibleEntities) {
+  RenderCommand Command;
+  ASSERT_TRUE(
+      encodeRenderCommand(entityAt(Vec3(1, 2, 3)), RenderParams(), Command));
+  EXPECT_EQ(Command.EntityId, 1u);
+  EXPECT_EQ(Command.Position[1], 2.0f);
+  EXPECT_EQ(Command.Scale, 1.0f);
+}
+
+TEST(EncodeRenderCommand, CullsFarAndDeadEntities) {
+  RenderCommand Command;
+  RenderParams Params;
+  Params.CullRadius = 10.0f;
+  EXPECT_FALSE(
+      encodeRenderCommand(entityAt(Vec3(100, 0, 0)), Params, Command));
+  GameEntity Dead = entityAt(Vec3(1, 0, 0));
+  Dead.Health = 0.0f;
+  EXPECT_FALSE(encodeRenderCommand(Dead, Params, Command));
+}
+
+TEST(EncodeRenderCommand, SortKeyOrdersByMaterialThenDepth) {
+  RenderCommand Near, Far;
+  GameEntity NearE = entityAt(Vec3(1, 1, 1), 4);
+  GameEntity FarE = entityAt(Vec3(50, 50, 50), 8);
+  ASSERT_TRUE(encodeRenderCommand(NearE, RenderParams(), Near));
+  ASSERT_TRUE(encodeRenderCommand(FarE, RenderParams(), Far));
+  ASSERT_EQ(Near.MaterialId, Far.MaterialId); // Same kind, id%4 == 0.
+  EXPECT_LT(Near.SortKey, Far.SortKey);       // Depth breaks the tie.
+}
+
+TEST(RenderQueue, HostBuildEmitsBoundedCommands) {
+  Machine M;
+  EntityStore Entities(M, 300, 0xD3A0, 40.0f);
+  RenderQueue Queue(M, 300);
+  uint32_t Emitted = Queue.buildHost(Entities, RenderParams());
+  EXPECT_GT(Emitted, 0u);
+  EXPECT_LE(Emitted, 300u);
+}
+
+TEST(RenderQueue, HostAndOffloadBuildsAreBitIdentical) {
+  Machine MHost, MAccel;
+  EntityStore HostEntities(MHost, 500, 0x7E57, 40.0f);
+  EntityStore AccelEntities(MAccel, 500, 0x7E57, 40.0f);
+  RenderQueue HostQueue(MHost, 500);
+  RenderQueue AccelQueue(MAccel, 500);
+  RenderParams Params;
+
+  uint32_t HostEmitted = HostQueue.buildHost(HostEntities, Params);
+  uint32_t AccelEmitted = 0;
+  offload::offloadSync(MAccel, [&](offload::OffloadContext &Ctx) {
+    AccelEmitted = AccelQueue.buildOffload(Ctx, AccelEntities, Params);
+  });
+
+  ASSERT_EQ(HostEmitted, AccelEmitted);
+  EXPECT_EQ(HostQueue.checksum(HostEmitted),
+            AccelQueue.checksum(AccelEmitted));
+}
+
+TEST(RenderQueue, OffloadCombinesWritesIntoFewPuts) {
+  Machine M;
+  EntityStore Entities(M, 400, 0x7E57, 40.0f);
+  RenderQueue Queue(M, 400);
+  offload::offloadSync(M, [&](offload::OffloadContext &Ctx) {
+    uint64_t PutsBefore = Ctx.accel().Counters.DmaPutsIssued;
+    uint32_t Emitted = Queue.buildOffload(Ctx, Entities, RenderParams());
+    uint64_t Puts = Ctx.accel().Counters.DmaPutsIssued - PutsBefore;
+    // ~32 bytes per command, 4 KiB combiner: >= 100 commands per put.
+    EXPECT_LT(Puts, Emitted / 32);
+  });
+}
+
+TEST(RenderQueue, CullingShrinksTheBuffer) {
+  Machine M;
+  EntityStore Entities(M, 200, 0x7E57, 40.0f);
+  RenderQueue Queue(M, 200);
+  RenderParams Tight;
+  Tight.CullRadius = 20.0f;
+  RenderParams Loose;
+  uint32_t TightCount = Queue.buildHost(Entities, Tight);
+  uint32_t LooseCount = Queue.buildHost(Entities, Loose);
+  EXPECT_LT(TightCount, LooseCount);
+}

@@ -1,0 +1,160 @@
+//===- tests/offload_context_test.cpp - OffloadContext tests ---------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/Offload.h"
+#include "offload/OffloadContext.h"
+#include "offload/SetAssociativeCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm::offload;
+using namespace omm::sim;
+
+namespace {
+
+struct Odd {
+  uint8_t Bytes[13]; // Deliberately not a legal DMA size.
+};
+
+} // namespace
+
+TEST(OffloadContext, OuterReadRoundTripsArbitrarySizes) {
+  Machine M;
+  GlobalAddr G = M.allocGlobal(64);
+  Odd Value{};
+  for (int I = 0; I != 13; ++I)
+    Value.Bytes[I] = static_cast<uint8_t>(I * 7);
+  M.mainMemory().writeValue(G, Value);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    Odd Read = Ctx.outerRead<Odd>(G);
+    for (int I = 0; I != 13; ++I)
+      EXPECT_EQ(Read.Bytes[I], I * 7);
+  });
+}
+
+TEST(OffloadContext, OuterWriteRoundTripsArbitraryAlignment) {
+  Machine M;
+  GlobalAddr G = M.allocGlobal(64);
+  M.mainMemory().writeValue<uint64_t>(G, 0xAAAAAAAAAAAAAAAAull);
+  M.mainMemory().writeValue<uint64_t>(G + 8, 0xBBBBBBBBBBBBBBBBull);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    // An unaligned 4-byte write in the middle: read-modify-write path.
+    Ctx.outerWrite<uint32_t>(G + 5, 0xDEADBEEFu);
+  });
+
+  // The write landed...
+  EXPECT_EQ(M.mainMemory().readValue<uint32_t>(G + 5), 0xDEADBEEFu);
+  // ...and neighbouring bytes are intact.
+  EXPECT_EQ(M.mainMemory().readValue<uint8_t>(G + 4), 0xAAu);
+  EXPECT_EQ(M.mainMemory().readValue<uint8_t>(G + 9), 0xBBu);
+}
+
+TEST(OffloadContext, OuterAccessLargerThanBounceBuffer) {
+  Machine M;
+  constexpr uint32_t Size = 16 * 1024; // Bigger than the bounce buffer.
+  GlobalAddr G = M.allocGlobal(Size);
+  std::vector<uint8_t> Expected(Size);
+  for (uint32_t I = 0; I != Size; ++I)
+    Expected[I] = static_cast<uint8_t>(I * 31);
+  M.mainMemory().write(G, Expected.data(), Size);
+
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    std::vector<uint8_t> Out(Size);
+    Ctx.outerReadBytes(Out.data(), G, Size);
+    EXPECT_EQ(Out, Expected);
+
+    for (auto &Byte : Out)
+      Byte = static_cast<uint8_t>(Byte + 1);
+    Ctx.outerWriteBytes(G, Out.data(), Size);
+  });
+
+  for (uint32_t I = 0; I != Size; ++I)
+    ASSERT_EQ(M.mainMemory().readValue<uint8_t>(G + I),
+              static_cast<uint8_t>(Expected[I] + 1));
+}
+
+TEST(OffloadContext, UncachedOuterAccessPaysLatencyEachTime) {
+  Machine M;
+  GlobalAddr G = M.allocGlobal(64);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint64_t Start = Ctx.clock().now();
+    (void)Ctx.outerRead<uint32_t>(G);
+    uint64_t One = Ctx.clock().now() - Start;
+    EXPECT_GE(One, M.config().DmaLatencyCycles);
+    (void)Ctx.outerRead<uint32_t>(G); // Same address: still a full trip.
+    EXPECT_GE(Ctx.clock().now() - Start, 2 * One - 4);
+  });
+}
+
+TEST(OffloadContext, BoundCacheAbsorbsRepeatedAccess) {
+  Machine M;
+  GlobalAddr G = M.allocGlobal(64);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    SetAssociativeCache Cache(Ctx, {128, 8, 2, 16});
+    Ctx.bindCache(&Cache);
+    (void)Ctx.outerRead<uint32_t>(G); // Miss: fills the line.
+    uint64_t Start = Ctx.clock().now();
+    (void)Ctx.outerRead<uint32_t>(G); // Hit: no DMA.
+    uint64_t HitCost = Ctx.clock().now() - Start;
+    EXPECT_LT(HitCost, M.config().DmaLatencyCycles);
+    EXPECT_EQ(Cache.stats().Hits, 1u);
+    EXPECT_EQ(Cache.stats().Misses, 1u);
+    Ctx.bindCache(nullptr);
+  });
+}
+
+TEST(OffloadContext, LocalAccessChargesPerQuadword) {
+  Machine M;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    LocalAddr L = Ctx.localAlloc(256);
+    uint64_t Start = Ctx.clock().now();
+    Ctx.localWrite<uint32_t>(L, 1);
+    EXPECT_EQ(Ctx.clock().now() - Start, M.config().LocalAccessCycles);
+    Start = Ctx.clock().now();
+    uint8_t Buffer[256];
+    Ctx.localReadBytes(Buffer, L, 256);
+    EXPECT_EQ(Ctx.clock().now() - Start,
+              256 / 16 * M.config().LocalAccessCycles);
+  });
+}
+
+TEST(OffloadContext, ComputeChargesAccelerator) {
+  Machine M;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint64_t Start = Ctx.clock().now();
+    Ctx.compute(5000);
+    EXPECT_EQ(Ctx.clock().now() - Start, 5000u);
+    EXPECT_EQ(Ctx.accel().Counters.ComputeCycles, 5000u);
+  });
+}
+
+TEST(OffloadContext, LocalAllocationsAreBlockScoped) {
+  Machine M;
+  uint32_t FirstAlloc = 0;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    FirstAlloc = Ctx.localAlloc(1024).Value;
+  });
+  uint32_t SecondAlloc = 1;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    SecondAlloc = Ctx.localAlloc(1024).Value;
+  });
+  // The second block reuses the first block's space: block-scoped
+  // scratch-pad allocation (Section 3, property 3).
+  EXPECT_EQ(FirstAlloc, SecondAlloc);
+}
+
+TEST(OffloadContext, LocalAllocArrayPadsForDma) {
+  Machine M;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    // 13-byte elements: the array footprint must still be DMA-safe.
+    LocalAddr A = Ctx.localAllocArray<Odd>(3);
+    LocalAddr B = Ctx.localAlloc(16);
+    EXPECT_GE(B.Value - A.Value, (3u * 13u + 15u) / 16u * 16u);
+  });
+}

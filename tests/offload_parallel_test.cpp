@@ -1,0 +1,185 @@
+//===- tests/offload_parallel_test.cpp - Multi-accelerator parallelism -----===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dmacheck/DmaRaceChecker.h"
+#include "offload/ParallelFor.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm;
+using namespace omm::offload;
+using namespace omm::sim;
+
+namespace {
+
+/// Fills an outer array with I*3+1 via parallelTransform and returns
+/// the machine's final global time.
+uint64_t runParallelFill(Machine &M, OuterPtr<uint64_t> Data,
+                         uint32_t Count, unsigned MaxAccel) {
+  parallelTransform<uint64_t>(
+      M, Data, Count, 64,
+      [](OffloadContext &Ctx, uint32_t Index, uint64_t &Value) {
+        Value = uint64_t(Index) * 3 + 1;
+        Ctx.compute(200);
+      },
+      MaxAccel);
+  return M.globalTime();
+}
+
+} // namespace
+
+TEST(ParallelFor, RangesCoverExactlyOnce) {
+  Machine M;
+  constexpr uint32_t Count = 1000;
+  std::vector<unsigned> Visits(Count, 0);
+  parallelForRange(M, Count,
+                   [&](OffloadContext &, uint32_t Begin, uint32_t End) {
+                     for (uint32_t I = Begin; I != End; ++I)
+                       ++Visits[I];
+                   });
+  for (uint32_t I = 0; I != Count; ++I)
+    ASSERT_EQ(Visits[I], 1u) << "index " << I;
+}
+
+TEST(ParallelFor, HandlesAwkwardCounts) {
+  Machine M;
+  for (uint32_t Count : {1u, 5u, 6u, 7u, 13u, 997u}) {
+    uint32_t Visited = 0;
+    parallelForRange(M, Count,
+                     [&](OffloadContext &, uint32_t Begin, uint32_t End) {
+                       Visited += End - Begin;
+                     });
+    EXPECT_EQ(Visited, Count);
+  }
+}
+
+TEST(ParallelFor, ZeroCountLaunchesNothing) {
+  Machine M;
+  bool Ran = false;
+  parallelForRange(M, 0, [&](OffloadContext &, uint32_t, uint32_t) {
+    Ran = true;
+  });
+  EXPECT_FALSE(Ran);
+  EXPECT_EQ(M.globalTime(), 0u);
+}
+
+TEST(ParallelFor, TransformMatchesSequentialReference) {
+  Machine M;
+  constexpr uint32_t Count = 777;
+  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, Count);
+  runParallelFill(M, Data, Count, ~0u);
+  for (uint32_t I = 0; I != Count; ++I)
+    ASSERT_EQ(M.mainMemory().readValue<uint64_t>((Data + I).addr()),
+              uint64_t(I) * 3 + 1);
+}
+
+TEST(ParallelFor, ScalesAcrossAccelerators) {
+  constexpr uint32_t Count = 1200;
+  uint64_t OneAccel, SixAccel;
+  {
+    Machine M;
+    OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, Count);
+    OneAccel = runParallelFill(M, Data, Count, 1);
+  }
+  {
+    Machine M;
+    OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, Count);
+    SixAccel = runParallelFill(M, Data, Count, 6);
+  }
+  // Six workers should be at least 4x faster on a compute-heavy fill.
+  EXPECT_LT(SixAccel * 4, OneAccel);
+}
+
+TEST(ParallelFor, MaxAcceleratorsIsRespected) {
+  Machine M;
+  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 600);
+  runParallelFill(M, Data, 600, 3);
+  unsigned Used = 0;
+  for (unsigned I = 0; I != M.numAccelerators(); ++I)
+    if (M.accel(I).Counters.ComputeCycles != 0)
+      ++Used;
+  EXPECT_EQ(Used, 3u);
+}
+
+TEST(ParallelFor, DisjointSlicesAreRaceCheckerClean) {
+  Machine M;
+  DiagSink Diags;
+  dmacheck::DmaRaceChecker Checker(Diags);
+  M.setObserver(&Checker);
+  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 960);
+  runParallelFill(M, Data, 960, ~0u);
+  EXPECT_EQ(Checker.raceCount(), 0u);
+  for (const auto &D : Diags.diags())
+    ADD_FAILURE() << D.Message;
+}
+
+TEST(ParallelFor, OverlappingSlicesWouldBeCaught) {
+  // Negative control for the previous test: two blocks writing the
+  // same range must be reported by the checker.
+  Machine M;
+  DiagSink Diags;
+  dmacheck::DmaRaceChecker Checker(Diags);
+  M.setObserver(&Checker);
+  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 64);
+
+  OffloadGroup Group;
+  for (unsigned W = 0; W != 2; ++W)
+    Group.launchOn(M, W, [&](OffloadContext &Ctx) {
+      LocalAddr L = Ctx.localAlloc(512);
+      Ctx.dmaGetLarge(L, Data.addr(), 512, 0);
+      Ctx.dmaWait(0);
+      Ctx.dmaPutLarge(Data.addr(), L, 512, 0);
+      // Block ends; runtime drains. The two blocks' puts overlap in
+      // main memory.
+    });
+  Group.joinAll(M);
+  EXPECT_GT(Checker.raceCount(), 0u);
+}
+
+TEST(LocalScope, PopsAllocationsOnExit) {
+  Machine M;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint32_t FreeBefore = Ctx.accel().Store.bytesFree();
+    {
+      OffloadContext::LocalScope Scope(Ctx);
+      Ctx.localAlloc(4096);
+      Ctx.localAlloc(4096);
+      EXPECT_LT(Ctx.accel().Store.bytesFree(), FreeBefore);
+    }
+    EXPECT_EQ(Ctx.accel().Store.bytesFree(), FreeBefore);
+  });
+}
+
+TEST(LocalScope, NestsProperly) {
+  Machine M;
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    uint32_t Level0 = Ctx.accel().Store.bytesFree();
+    OffloadContext::LocalScope Outer(Ctx);
+    Ctx.localAlloc(1024);
+    uint32_t Level1 = Ctx.accel().Store.bytesFree();
+    {
+      OffloadContext::LocalScope Inner(Ctx);
+      Ctx.localAlloc(1024);
+      EXPECT_LT(Ctx.accel().Store.bytesFree(), Level1);
+    }
+    EXPECT_EQ(Ctx.accel().Store.bytesFree(), Level1);
+    (void)Level0;
+  });
+}
+
+TEST(LocalScope, RepeatedBatchesDoNotExhaustTheStore) {
+  // The pattern that motivated LocalScope: a loop of accessor batches.
+  Machine M;
+  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 64);
+  offloadSync(M, [&](OffloadContext &Ctx) {
+    for (int Batch = 0; Batch != 10000; ++Batch) {
+      OffloadContext::LocalScope Scope(Ctx);
+      Ctx.localAlloc(64 * 1024); // Would exhaust 256 KiB in 4 rounds.
+    }
+  });
+  SUCCEED();
+}

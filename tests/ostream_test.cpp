@@ -1,0 +1,96 @@
+//===- tests/ostream_test.cpp - Output stream tests ------------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace omm;
+
+namespace {
+
+/// Captures everything written through an OStream into a std::string.
+class CaptureStream {
+public:
+  CaptureStream() : File(std::tmpfile()), Stream(File) {
+    EXPECT_NE(File, nullptr);
+  }
+  ~CaptureStream() { std::fclose(File); }
+
+  OStream &os() { return Stream; }
+
+  std::string str() {
+    Stream.flush();
+    std::string Out;
+    long Size = std::ftell(File);
+    Out.resize(static_cast<size_t>(Size));
+    std::rewind(File);
+    size_t Read = std::fread(Out.data(), 1, Out.size(), File);
+    Out.resize(Read);
+    return Out;
+  }
+
+private:
+  std::FILE *File;
+  OStream Stream;
+};
+
+} // namespace
+
+TEST(OStream, BasicTypes) {
+  CaptureStream Capture;
+  Capture.os() << "x=" << 42 << ' ' << -7 << ' ' << 3.5 << ' ' << true
+               << ' ' << false;
+  EXPECT_EQ(Capture.str(), "x=42 -7 3.5 true false");
+}
+
+TEST(OStream, WideIntegers) {
+  CaptureStream Capture;
+  Capture.os() << UINT64_MAX << ' ' << INT64_MIN;
+  EXPECT_EQ(Capture.str(),
+            "18446744073709551615 -9223372036854775808");
+}
+
+TEST(OStream, StringsAndViews) {
+  CaptureStream Capture;
+  std::string Str = "abc";
+  std::string_view View = "defg";
+  const char *Null = nullptr;
+  Capture.os() << Str << View << Null;
+  EXPECT_EQ(Capture.str(), "abcdefg(null)");
+}
+
+TEST(OStream, FixedPrecision) {
+  CaptureStream Capture;
+  Capture.os().fixed(3.14159, 3);
+  EXPECT_EQ(Capture.str(), "3.142");
+}
+
+TEST(OStream, PaddingHelpers) {
+  CaptureStream Capture;
+  Capture.os().padded("ab", 5);
+  Capture.os() << '|';
+  Capture.os().paddedInt(42, 5);
+  Capture.os() << '|';
+  Capture.os().paddedFixed(1.5, 7, 2);
+  EXPECT_EQ(Capture.str(), "ab   |   42|   1.50");
+}
+
+TEST(OStream, PaddingDoesNotTruncateNumbers) {
+  CaptureStream Capture;
+  Capture.os().paddedInt(1234567, 3);
+  EXPECT_EQ(Capture.str(), "1234567");
+}
+
+TEST(OStream, OutsAndErrsAreDistinctSingletons) {
+  EXPECT_EQ(&outs(), &outs());
+  EXPECT_EQ(&errs(), &errs());
+  EXPECT_NE(static_cast<void *>(&outs()), static_cast<void *>(&errs()));
+}

@@ -1,0 +1,152 @@
+//===- tests/sim_machine_test.cpp - Machine-level tests --------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm::sim;
+
+TEST(CycleClock, AdvanceAndStallAccounting) {
+  CycleClock Clock;
+  EXPECT_EQ(Clock.now(), 0u);
+  Clock.advance(100);
+  EXPECT_EQ(Clock.now(), 100u);
+  EXPECT_EQ(Clock.advanceTo(50), 0u);  // The past costs nothing.
+  EXPECT_EQ(Clock.now(), 100u);
+  EXPECT_EQ(Clock.advanceTo(250), 150u); // Stall cycles reported.
+  EXPECT_EQ(Clock.now(), 250u);
+}
+
+TEST(CycleClock, ResetToNeverGoesBackward) {
+  CycleClock Clock;
+  Clock.advance(500);
+  Clock.resetTo(200);
+  EXPECT_EQ(Clock.now(), 500u);
+  Clock.resetTo(900);
+  EXPECT_EQ(Clock.now(), 900u);
+}
+
+TEST(MachineConfig, CellLikeDefaults) {
+  MachineConfig Cfg = MachineConfig::cellLike();
+  EXPECT_EQ(Cfg.NumAccelerators, 6u);
+  EXPECT_EQ(Cfg.LocalStoreSize, 256u * 1024u);
+  EXPECT_EQ(Cfg.NumDmaTags, 32u);
+  EXPECT_FALSE(Cfg.CacheCoherentSharedMemory);
+}
+
+TEST(MachineConfig, LegalDmaSizes) {
+  MachineConfig Cfg;
+  for (uint64_t Size : {1u, 2u, 4u, 8u, 16u, 32u, 16384u})
+    EXPECT_TRUE(Cfg.isLegalDmaSize(Size)) << Size;
+  for (uint64_t Size : {0u, 3u, 5u, 12u, 17u, 24u, 16400u, 1u << 20})
+    EXPECT_FALSE(Cfg.isLegalDmaSize(Size)) << Size;
+}
+
+TEST(Machine, ConstructsAccelerators) {
+  Machine M;
+  EXPECT_EQ(M.numAccelerators(), 6u);
+  for (unsigned I = 0; I != 6; ++I) {
+    EXPECT_EQ(M.accel(I).id(), I);
+    EXPECT_EQ(M.accel(I).Store.size(), 256u * 1024u);
+  }
+}
+
+TEST(Machine, HostAccessChargesCycles) {
+  Machine M;
+  GlobalAddr A = M.allocGlobal(64);
+  uint64_t Before = M.hostClock().now();
+  M.hostWrite<uint64_t>(A, 42);
+  uint64_t AfterWrite = M.hostClock().now();
+  EXPECT_EQ(AfterWrite - Before, M.config().HostAccessCycles);
+  EXPECT_EQ(M.hostRead<uint64_t>(A), 42u);
+  EXPECT_GT(M.hostClock().now(), AfterWrite);
+  EXPECT_EQ(M.hostCounters().HostLoads, 1u);
+  EXPECT_EQ(M.hostCounters().HostStores, 1u);
+}
+
+TEST(Machine, HostAccessCostScalesWithSize) {
+  Machine M;
+  GlobalAddr A = M.allocGlobal(256);
+  uint64_t Before = M.hostClock().now();
+  uint8_t Buffer[256];
+  M.hostReadBytes(Buffer, A, 256);
+  uint64_t Cost = M.hostClock().now() - Before;
+  EXPECT_EQ(Cost, 256 / M.config().HostAccessGranularity *
+                      M.config().HostAccessCycles);
+}
+
+TEST(Machine, HostComputeAdvancesClockAndCounter) {
+  Machine M;
+  M.hostCompute(1234);
+  EXPECT_EQ(M.hostClock().now(), 1234u);
+  EXPECT_EQ(M.hostCounters().ComputeCycles, 1234u);
+}
+
+TEST(Machine, GlobalTimeIsMaxOverCores) {
+  Machine M;
+  M.hostCompute(100);
+  M.accel(2).Clock.advance(500);
+  EXPECT_EQ(M.globalTime(), 500u);
+  M.hostCompute(1000);
+  EXPECT_EQ(M.globalTime(), 1100u);
+}
+
+TEST(Machine, TotalCountersMerge) {
+  Machine M;
+  GlobalAddr G = M.allocGlobal(64);
+  M.hostWrite<uint32_t>(G, 1);
+  Accelerator &A = M.accel(0);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.waitTag(0);
+  PerfCounters Total = M.totalCounters();
+  EXPECT_EQ(Total.HostStores, 1u);
+  EXPECT_EQ(Total.DmaGetsIssued, 1u);
+  EXPECT_EQ(Total.DmaBytesRead, 64u);
+}
+
+namespace {
+
+/// Observer that counts callbacks, to verify installation and routing.
+class CountingObserver : public DmaObserver {
+public:
+  void onIssue(const DmaTransfer &) override { ++Issues; }
+  void onWait(unsigned, uint32_t, uint64_t) override { ++Waits; }
+  void onHostAccess(GlobalAddr, uint64_t, bool, uint64_t) override {
+    ++HostAccesses;
+  }
+  unsigned Issues = 0;
+  unsigned Waits = 0;
+  unsigned HostAccesses = 0;
+};
+
+} // namespace
+
+TEST(Machine, ObserverSeesTraffic) {
+  Machine M;
+  CountingObserver Obs;
+  M.setObserver(&Obs);
+  GlobalAddr G = M.allocGlobal(64);
+  M.hostWrite<uint32_t>(G, 7);
+  Accelerator &A = M.accel(0);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Obs.Issues, 1u);
+  EXPECT_EQ(Obs.Waits, 1u);
+  EXPECT_EQ(Obs.HostAccesses, 1u);
+  M.setObserver(nullptr);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.waitTag(0);
+  EXPECT_EQ(Obs.Issues, 1u); // Uninstalled observers see nothing.
+}
+
+TEST(MachineDeath, BadAcceleratorIdAborts) {
+  Machine M;
+  EXPECT_DEATH(M.accel(99), "accelerator id out of range");
+}

@@ -1,0 +1,317 @@
+//===- tests/wordaddr_test.cpp - Word-addressing discipline tests ----------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 5's hybrid word/byte discipline: the *type rules* are checked
+// with compile-time probes, and the *cost model* with op counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wordaddr/WordPtr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <type_traits>
+
+using namespace omm::wordaddr;
+
+//===----------------------------------------------------------------------===//
+// The paper's type rules as compile-time facts.
+//===----------------------------------------------------------------------===//
+
+// "char *q = p + 4; // this is legal, if the word size is 4"
+static_assert(std::is_same_v<decltype(WordPtr<char, 4>().add<4>()),
+                             WordPtr<char, 4>>);
+// "char __byte *q = p + 1; // this is legal" — and the type records the
+// constant offset so the dereference compiles efficiently.
+static_assert(std::is_same_v<decltype(WordPtr<char, 4>().add<1>()),
+                             ConstBytePtr<char, 4, 1>>);
+// Whole-word element types always stay word pointers.
+static_assert(std::is_same_v<decltype(WordPtr<uint32_t, 4>().add<3>()),
+                             WordPtr<uint32_t, 4>>);
+// Offsets re-normalise: +1 then +3 more chars is back on a word.
+static_assert(std::is_same_v<decltype(ConstBytePtr<char, 4, 1>().add<3>()),
+                             WordPtr<char, 4>>);
+
+// "char *q = p + 1; // this is illegal" — run-time variable arithmetic
+// on word pointers does not compile. (The probes are templates so the
+// deleted operators are checked in a dependent context.)
+template <typename P>
+constexpr bool CanAddRuntime = requires(P Ptr, std::ptrdiff_t N) {
+  Ptr + N;
+};
+template <typename P>
+constexpr bool CanPreIncrement = requires(P Ptr) { ++Ptr; };
+
+static_assert(!CanAddRuntime<WordPtr<char, 4>>);
+static_assert(!CanPreIncrement<WordPtr<char, 4>>);
+static_assert(!CanAddRuntime<ConstBytePtr<char, 4, 1>>);
+
+// Word-derived pointers convert to byte pointers...
+static_assert(std::is_convertible_v<WordPtr<char, 4>, BytePtr<char, 4>>);
+static_assert(
+    std::is_convertible_v<ConstBytePtr<char, 4, 2>, BytePtr<char, 4>>);
+// ...but byte pointers never convert back to word pointers ("prohibits
+// non-word-addressed values from being assigned to word-addressed
+// pointers").
+static_assert(!std::is_convertible_v<BytePtr<char, 4>, WordPtr<char, 4>>);
+static_assert(!std::is_constructible_v<WordPtr<char, 4>, BytePtr<char, 4>>);
+
+// Byte pointers support run-time arithmetic (that is their job).
+static_assert(CanAddRuntime<BytePtr<char, 4>>);
+static_assert(CanPreIncrement<BytePtr<char, 4>>);
+
+namespace {
+
+struct T4 { // The paper's struct T { char a, b, c, d; }.
+  char A, B, C, D;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Functional correctness.
+//===----------------------------------------------------------------------===//
+
+TEST(WordMemory, WordRoundTrip) {
+  WordMemory Mem(256, 4);
+  Mem.storeWord(3, 0xDEADBEEF);
+  EXPECT_EQ(Mem.loadWord(3), 0xDEADBEEFu);
+  EXPECT_EQ(Mem.ops().WordLoads, 1u);
+  EXPECT_EQ(Mem.ops().WordStores, 1u);
+}
+
+TEST(WordMemory, EightByteWords) {
+  WordMemory Mem(64, 8);
+  Mem.storeWord(1, 0x0123456789ABCDEFull);
+  EXPECT_EQ(Mem.loadWord(1), 0x0123456789ABCDEFull);
+}
+
+TEST(WordMemoryDeath, BoundsChecked) {
+  WordMemory Mem(16, 4);
+  EXPECT_DEATH(Mem.loadWord(16), "out of bounds");
+}
+
+TEST(WordMemoryDeath, ExhaustionAborts) {
+  WordMemory Mem(16, 4);
+  Mem.allocWords(16);
+  EXPECT_DEATH(Mem.allocWords(1), "out of words");
+}
+
+TEST(WordPtr, LoadStoreWordSizedValues) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<uint32_t>(Mem, 8);
+  P.store(Mem, 0xCAFED00Du);
+  EXPECT_EQ(P.load(Mem), 0xCAFED00Du);
+  auto Q = P.add<5>();
+  Q.store(Mem, 7u);
+  EXPECT_EQ(Q.load(Mem), 7u);
+  EXPECT_EQ(P.load(Mem), 0xCAFED00Du); // Distinct words.
+}
+
+TEST(WordPtr, SubWordLoadNeedsExtract) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<char>(Mem, 16);
+  P.store(Mem, 'x');
+  Mem.resetOps();
+  EXPECT_EQ(P.load(Mem), 'x');
+  EXPECT_EQ(Mem.ops().WordLoads, 1u);
+  EXPECT_EQ(Mem.ops().ExtractOps, 1u);
+  EXPECT_EQ(Mem.ops().ShiftOps, 0u); // Constant position: no shifts.
+}
+
+TEST(ConstBytePtr, LoadsAtConstantOffsets) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<char>(Mem, 16);
+  // Fill one word with 4 chars through the typed pointers.
+  P.store(Mem, 'a');
+  P.add<1>().store(Mem, 'b');
+  P.add<2>().store(Mem, 'c');
+  P.add<3>().store(Mem, 'd');
+  EXPECT_EQ(P.load(Mem), 'a');
+  EXPECT_EQ(P.add<1>().load(Mem), 'b');
+  EXPECT_EQ(P.add<2>().load(Mem), 'c');
+  EXPECT_EQ(P.add<3>().load(Mem), 'd');
+  EXPECT_EQ(P.add<4>().load(Mem), 0); // Next word, untouched.
+}
+
+TEST(ConstBytePtr, NegativeConstantsRenormalise) {
+  auto P = WordPtr<char, 4>(10);
+  auto Q = P.add<5>();  // Word 11, offset 1.
+  EXPECT_EQ(Q.byteAddr(), 45u);
+  auto R = Q.add<-1>(); // Back to word 11, offset 0 -> WordPtr.
+  static_assert(std::is_same_v<decltype(R), WordPtr<char, 4>>);
+  EXPECT_EQ(R.byteAddr(), 44u);
+  auto S = Q.add<-2>(); // Word 10, offset 3.
+  static_assert(std::is_same_v<decltype(S), ConstBytePtr<char, 4, 3>>);
+  EXPECT_EQ(S.byteAddr(), 43u);
+}
+
+TEST(BytePtr, RuntimeArithmeticWorksEverywhere) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<char>(Mem, 64).toBytePtr();
+  // The paper's string loop: *string++ = (char)i — legal on __byte
+  // pointers, at a cost.
+  BytePtr<char, 4> Cursor = P;
+  for (int I = 0; I != 32; ++I) {
+    Cursor.store(Mem, static_cast<char>('A' + I));
+    ++Cursor;
+  }
+  for (int I = 0; I != 32; ++I)
+    EXPECT_EQ((P + I).load(Mem), static_cast<char>('A' + I));
+}
+
+TEST(BytePtr, SpanningValuesCrossWords) {
+  WordMemory Mem(256, 4);
+  auto Base = allocWordArray<uint32_t>(Mem, 8);
+  BytePtr<uint32_t, 4> Unaligned(Base.byteAddr() + 2);
+  Unaligned.store(Mem, 0x11223344u);
+  EXPECT_EQ(Unaligned.load(Mem), 0x11223344u);
+  // Word-aligned views agree byte-wise.
+  uint64_t W0 = Mem.peekWord(Base.wordIndex());
+  uint64_t W1 = Mem.peekWord(Base.wordIndex() + 1);
+  EXPECT_EQ((W0 >> 16) & 0xFFFF, 0x3344u);
+  EXPECT_EQ(W1 & 0xFFFF, 0x1122u);
+}
+
+TEST(StructFields, ConstantOffsetsWork) {
+  // "p->a = p->b; // This works, using the constant offsets of 'a','b'."
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<T4>(Mem, 4);
+  OMM_WORD_FIELD(P, T4, A).store(Mem, 'a');
+  OMM_WORD_FIELD(P, T4, B).store(Mem, 'b');
+  OMM_WORD_FIELD(P, T4, C).store(Mem, 'c');
+  OMM_WORD_FIELD(P, T4, D).store(Mem, 'd');
+
+  // p->a = p->b;
+  OMM_WORD_FIELD(P, T4, A).store(Mem, OMM_WORD_FIELD(P, T4, B).load(Mem));
+  EXPECT_EQ((OMM_WORD_FIELD(P, T4, A).load(Mem)), 'b');
+  EXPECT_EQ((OMM_WORD_FIELD(P, T4, D).load(Mem)), 'd');
+}
+
+TEST(StructFields, FieldTypesFollowOffsets) {
+  WordPtr<T4, 4> P(10);
+  auto A = P.fieldPtr<char, 0>();
+  auto B = P.fieldPtr<char, 1>();
+  static_assert(std::is_same_v<decltype(A), WordPtr<char, 4>>);
+  static_assert(std::is_same_v<decltype(B), ConstBytePtr<char, 4, 1>>);
+  EXPECT_EQ(A.byteAddr(), 40u);
+  EXPECT_EQ(B.byteAddr(), 41u);
+}
+
+//===----------------------------------------------------------------------===//
+// The cost model: word < const-offset byte < variable byte.
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, DisciplineOrdering) {
+  WordMemory Mem(4096, 4);
+  auto P = allocWordArray<char>(Mem, 1024);
+
+  Mem.resetOps();
+  for (int I = 0; I != 100; ++I)
+    (void)P.load(Mem);
+  uint64_t WordCost = Mem.ops().total();
+
+  Mem.resetOps();
+  auto C = P.add<1>();
+  for (int I = 0; I != 100; ++I)
+    (void)C.load(Mem);
+  uint64_t ConstCost = Mem.ops().total();
+
+  Mem.resetOps();
+  BytePtr<char, 4> B = P.toBytePtr() + 1;
+  for (int I = 0; I != 100; ++I)
+    (void)B.load(Mem);
+  uint64_t ByteCost = Mem.ops().total();
+
+  EXPECT_LE(WordCost, ConstCost);
+  EXPECT_LT(ConstCost, ByteCost);
+  // "Several shifts and some logical operations": the variable path is
+  // at least twice the word path.
+  EXPECT_GE(ByteCost, 2 * WordCost);
+}
+
+TEST(CostModel, VariableByteDerefCountsShiftsAndMasks) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<char>(Mem, 16);
+  BytePtr<char, 4> B = P.toBytePtr() + 3;
+  Mem.resetOps();
+  (void)B.load(Mem);
+  EXPECT_EQ(Mem.ops().AddrOps, 1u);
+  EXPECT_EQ(Mem.ops().ShiftOps, 1u);
+  EXPECT_EQ(Mem.ops().MaskOps, 1u);
+  EXPECT_EQ(Mem.ops().WordLoads, 1u);
+}
+
+TEST(CostModel, PartialWordStoreIsReadModifyWrite) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<char>(Mem, 16);
+  Mem.resetOps();
+  P.add<1>().store(Mem, 'z');
+  EXPECT_EQ(Mem.ops().WordLoads, 1u); // RMW of the containing word.
+  EXPECT_EQ(Mem.ops().WordStores, 1u);
+  EXPECT_EQ(Mem.ops().InsertOps, 1u);
+}
+
+TEST(CostModel, WholeWordStoreHasNoRmw) {
+  WordMemory Mem(256, 4);
+  auto P = allocWordArray<uint32_t>(Mem, 8);
+  Mem.resetOps();
+  P.store(Mem, 42u);
+  EXPECT_EQ(Mem.ops().WordLoads, 0u);
+  EXPECT_EQ(Mem.ops().WordStores, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: every (type, constant offset) round-trips.
+//===----------------------------------------------------------------------===//
+
+template <typename T, int Off> void roundTripAt() {
+  WordMemory Mem(1024, 4);
+  auto Base = allocWordArray<char>(Mem, 512);
+  auto P = Base.template add<Off>().toBytePtr();
+  BytePtr<T, 4> Typed(P.byteAddr());
+  T Value{};
+  uint8_t *Bytes = reinterpret_cast<uint8_t *>(&Value);
+  for (size_t I = 0; I != sizeof(T); ++I)
+    Bytes[I] = static_cast<uint8_t>(0x21 + I * 13 + Off * 7);
+  Typed.store(Mem, Value);
+  T Back = Typed.load(Mem);
+  EXPECT_EQ(0, __builtin_memcmp(&Back, &Value, sizeof(T)));
+}
+
+template <typename T> void roundTripAllOffsets() {
+  roundTripAt<T, 0>();
+  roundTripAt<T, 1>();
+  roundTripAt<T, 2>();
+  roundTripAt<T, 3>();
+  roundTripAt<T, 5>();
+  roundTripAt<T, 17>();
+}
+
+TEST(RoundTripSweep, AllTypesAllOffsets) {
+  roundTripAllOffsets<uint8_t>();
+  roundTripAllOffsets<uint16_t>();
+  roundTripAllOffsets<uint32_t>();
+  roundTripAllOffsets<uint64_t>();
+  roundTripAllOffsets<T4>();
+  roundTripAllOffsets<float>();
+  roundTripAllOffsets<double>();
+}
+
+TEST(FloorMath, Helpers) {
+  using detail::floorDiv;
+  using detail::floorMod;
+  EXPECT_EQ(floorDiv(7, 4), 1);
+  EXPECT_EQ(floorDiv(-1, 4), -1);
+  EXPECT_EQ(floorDiv(-4, 4), -1);
+  EXPECT_EQ(floorDiv(-5, 4), -2);
+  EXPECT_EQ(floorMod(7, 4), 3);
+  EXPECT_EQ(floorMod(-1, 4), 3);
+  EXPECT_EQ(floorMod(-4, 4), 0);
+  EXPECT_EQ(floorMod(-5, 4), 3);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_dma_patterns"
+  "../bench/bench_e1_dma_patterns.pdb"
+  "CMakeFiles/bench_e1_dma_patterns.dir/bench_e1_dma_patterns.cpp.o"
+  "CMakeFiles/bench_e1_dma_patterns.dir/bench_e1_dma_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dma_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_offload_frame"
+  "../bench/bench_e2_offload_frame.pdb"
+  "CMakeFiles/bench_e2_offload_frame.dir/bench_e2_offload_frame.cpp.o"
+  "CMakeFiles/bench_e2_offload_frame.dir/bench_e2_offload_frame.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_offload_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

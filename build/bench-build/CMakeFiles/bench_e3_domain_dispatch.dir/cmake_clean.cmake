@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_domain_dispatch"
+  "../bench/bench_e3_domain_dispatch.pdb"
+  "CMakeFiles/bench_e3_domain_dispatch.dir/bench_e3_domain_dispatch.cpp.o"
+  "CMakeFiles/bench_e3_domain_dispatch.dir/bench_e3_domain_dispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_domain_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_component_restructure"
+  "../bench/bench_e4_component_restructure.pdb"
+  "CMakeFiles/bench_e4_component_restructure.dir/bench_e4_component_restructure.cpp.o"
+  "CMakeFiles/bench_e4_component_restructure.dir/bench_e4_component_restructure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_component_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_locality_loop"
+  "../bench/bench_e5_locality_loop.pdb"
+  "CMakeFiles/bench_e5_locality_loop.dir/bench_e5_locality_loop.cpp.o"
+  "CMakeFiles/bench_e5_locality_loop.dir/bench_e5_locality_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_locality_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

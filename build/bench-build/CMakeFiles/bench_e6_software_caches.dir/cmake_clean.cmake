@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_software_caches"
+  "../bench/bench_e6_software_caches.pdb"
+  "CMakeFiles/bench_e6_software_caches.dir/bench_e6_software_caches.cpp.o"
+  "CMakeFiles/bench_e6_software_caches.dir/bench_e6_software_caches.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_software_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_word_addressing"
+  "../bench/bench_e7_word_addressing.pdb"
+  "CMakeFiles/bench_e7_word_addressing.dir/bench_e7_word_addressing.cpp.o"
+  "CMakeFiles/bench_e7_word_addressing.dir/bench_e7_word_addressing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_word_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_pipeline.dir/collision_pipeline.cpp.o"
+  "CMakeFiles/collision_pipeline.dir/collision_pipeline.cpp.o.d"
+  "collision_pipeline"
+  "collision_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_showcase.dir/component_showcase.cpp.o"
+  "CMakeFiles/component_showcase.dir/component_showcase.cpp.o.d"
+  "component_showcase"
+  "component_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

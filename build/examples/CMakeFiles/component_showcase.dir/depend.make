@@ -1,0 +1,2 @@
+# Empty dependencies file for component_showcase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/frame_schedule.cpp" "examples/CMakeFiles/frame_schedule.dir/frame_schedule.cpp.o" "gcc" "examples/CMakeFiles/frame_schedule.dir/frame_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/game/CMakeFiles/omm_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/omm_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/omm_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_schedule.dir/frame_schedule.cpp.o"
+  "CMakeFiles/frame_schedule.dir/frame_schedule.cpp.o.d"
+  "frame_schedule"
+  "frame_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_frame.dir/game_frame.cpp.o"
+  "CMakeFiles/game_frame.dir/game_frame.cpp.o.d"
+  "game_frame"
+  "game_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_analyzer.dir/offload_analyzer.cpp.o"
+  "CMakeFiles/offload_analyzer.dir/offload_analyzer.cpp.o.d"
+  "offload_analyzer"
+  "offload_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

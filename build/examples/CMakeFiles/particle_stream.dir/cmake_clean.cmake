@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_stream.dir/particle_stream.cpp.o"
+  "CMakeFiles/particle_stream.dir/particle_stream.cpp.o.d"
+  "particle_stream"
+  "particle_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_addressing.dir/word_addressing.cpp.o"
+  "CMakeFiles/word_addressing.dir/word_addressing.cpp.o.d"
+  "word_addressing"
+  "word_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

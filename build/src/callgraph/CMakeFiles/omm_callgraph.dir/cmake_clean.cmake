@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_callgraph.dir/OffloadClosure.cpp.o"
+  "CMakeFiles/omm_callgraph.dir/OffloadClosure.cpp.o.d"
+  "CMakeFiles/omm_callgraph.dir/ProgramModel.cpp.o"
+  "CMakeFiles/omm_callgraph.dir/ProgramModel.cpp.o.d"
+  "libomm_callgraph.a"
+  "libomm_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_dmacheck.dir/DmaRaceChecker.cpp.o"
+  "CMakeFiles/omm_dmacheck.dir/DmaRaceChecker.cpp.o.d"
+  "libomm_dmacheck.a"
+  "libomm_dmacheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_dmacheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

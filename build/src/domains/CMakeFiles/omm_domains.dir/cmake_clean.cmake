@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_domains.dir/Domain.cpp.o"
+  "CMakeFiles/omm_domains.dir/Domain.cpp.o.d"
+  "CMakeFiles/omm_domains.dir/ObjectModel.cpp.o"
+  "CMakeFiles/omm_domains.dir/ObjectModel.cpp.o.d"
+  "libomm_domains.a"
+  "libomm_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

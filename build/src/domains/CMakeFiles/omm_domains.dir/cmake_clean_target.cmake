@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomm_domains.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/AI.cpp" "src/game/CMakeFiles/omm_game.dir/AI.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/AI.cpp.o.d"
+  "/root/repo/src/game/Animation.cpp" "src/game/CMakeFiles/omm_game.dir/Animation.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/Animation.cpp.o.d"
+  "/root/repo/src/game/Collision.cpp" "src/game/CMakeFiles/omm_game.dir/Collision.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/Collision.cpp.o.d"
+  "/root/repo/src/game/Components.cpp" "src/game/CMakeFiles/omm_game.dir/Components.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/Components.cpp.o.d"
+  "/root/repo/src/game/EntityStore.cpp" "src/game/CMakeFiles/omm_game.dir/EntityStore.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/EntityStore.cpp.o.d"
+  "/root/repo/src/game/GameWorld.cpp" "src/game/CMakeFiles/omm_game.dir/GameWorld.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/GameWorld.cpp.o.d"
+  "/root/repo/src/game/Navigation.cpp" "src/game/CMakeFiles/omm_game.dir/Navigation.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/Navigation.cpp.o.d"
+  "/root/repo/src/game/Physics.cpp" "src/game/CMakeFiles/omm_game.dir/Physics.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/Physics.cpp.o.d"
+  "/root/repo/src/game/Render.cpp" "src/game/CMakeFiles/omm_game.dir/Render.cpp.o" "gcc" "src/game/CMakeFiles/omm_game.dir/Render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domains/CMakeFiles/omm_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/omm_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_game.dir/AI.cpp.o"
+  "CMakeFiles/omm_game.dir/AI.cpp.o.d"
+  "CMakeFiles/omm_game.dir/Animation.cpp.o"
+  "CMakeFiles/omm_game.dir/Animation.cpp.o.d"
+  "CMakeFiles/omm_game.dir/Collision.cpp.o"
+  "CMakeFiles/omm_game.dir/Collision.cpp.o.d"
+  "CMakeFiles/omm_game.dir/Components.cpp.o"
+  "CMakeFiles/omm_game.dir/Components.cpp.o.d"
+  "CMakeFiles/omm_game.dir/EntityStore.cpp.o"
+  "CMakeFiles/omm_game.dir/EntityStore.cpp.o.d"
+  "CMakeFiles/omm_game.dir/GameWorld.cpp.o"
+  "CMakeFiles/omm_game.dir/GameWorld.cpp.o.d"
+  "CMakeFiles/omm_game.dir/Navigation.cpp.o"
+  "CMakeFiles/omm_game.dir/Navigation.cpp.o.d"
+  "CMakeFiles/omm_game.dir/Physics.cpp.o"
+  "CMakeFiles/omm_game.dir/Physics.cpp.o.d"
+  "CMakeFiles/omm_game.dir/Render.cpp.o"
+  "CMakeFiles/omm_game.dir/Render.cpp.o.d"
+  "libomm_game.a"
+  "libomm_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offload/OffloadContext.cpp" "src/offload/CMakeFiles/omm_offload.dir/OffloadContext.cpp.o" "gcc" "src/offload/CMakeFiles/omm_offload.dir/OffloadContext.cpp.o.d"
+  "/root/repo/src/offload/SetAssociativeCache.cpp" "src/offload/CMakeFiles/omm_offload.dir/SetAssociativeCache.cpp.o" "gcc" "src/offload/CMakeFiles/omm_offload.dir/SetAssociativeCache.cpp.o.d"
+  "/root/repo/src/offload/StreamBuffer.cpp" "src/offload/CMakeFiles/omm_offload.dir/StreamBuffer.cpp.o" "gcc" "src/offload/CMakeFiles/omm_offload.dir/StreamBuffer.cpp.o.d"
+  "/root/repo/src/offload/TaskSchedule.cpp" "src/offload/CMakeFiles/omm_offload.dir/TaskSchedule.cpp.o" "gcc" "src/offload/CMakeFiles/omm_offload.dir/TaskSchedule.cpp.o.d"
+  "/root/repo/src/offload/WriteCombiner.cpp" "src/offload/CMakeFiles/omm_offload.dir/WriteCombiner.cpp.o" "gcc" "src/offload/CMakeFiles/omm_offload.dir/WriteCombiner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/omm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

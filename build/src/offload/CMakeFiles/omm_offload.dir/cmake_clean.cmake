@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_offload.dir/OffloadContext.cpp.o"
+  "CMakeFiles/omm_offload.dir/OffloadContext.cpp.o.d"
+  "CMakeFiles/omm_offload.dir/SetAssociativeCache.cpp.o"
+  "CMakeFiles/omm_offload.dir/SetAssociativeCache.cpp.o.d"
+  "CMakeFiles/omm_offload.dir/StreamBuffer.cpp.o"
+  "CMakeFiles/omm_offload.dir/StreamBuffer.cpp.o.d"
+  "CMakeFiles/omm_offload.dir/TaskSchedule.cpp.o"
+  "CMakeFiles/omm_offload.dir/TaskSchedule.cpp.o.d"
+  "CMakeFiles/omm_offload.dir/WriteCombiner.cpp.o"
+  "CMakeFiles/omm_offload.dir/WriteCombiner.cpp.o.d"
+  "libomm_offload.a"
+  "libomm_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

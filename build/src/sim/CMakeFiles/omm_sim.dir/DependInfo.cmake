@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/DmaEngine.cpp" "src/sim/CMakeFiles/omm_sim.dir/DmaEngine.cpp.o" "gcc" "src/sim/CMakeFiles/omm_sim.dir/DmaEngine.cpp.o.d"
+  "/root/repo/src/sim/LocalStore.cpp" "src/sim/CMakeFiles/omm_sim.dir/LocalStore.cpp.o" "gcc" "src/sim/CMakeFiles/omm_sim.dir/LocalStore.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/omm_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/omm_sim.dir/Machine.cpp.o.d"
+  "/root/repo/src/sim/MainMemory.cpp" "src/sim/CMakeFiles/omm_sim.dir/MainMemory.cpp.o" "gcc" "src/sim/CMakeFiles/omm_sim.dir/MainMemory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/omm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_sim.dir/DmaEngine.cpp.o"
+  "CMakeFiles/omm_sim.dir/DmaEngine.cpp.o.d"
+  "CMakeFiles/omm_sim.dir/LocalStore.cpp.o"
+  "CMakeFiles/omm_sim.dir/LocalStore.cpp.o.d"
+  "CMakeFiles/omm_sim.dir/Machine.cpp.o"
+  "CMakeFiles/omm_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/omm_sim.dir/MainMemory.cpp.o"
+  "CMakeFiles/omm_sim.dir/MainMemory.cpp.o.d"
+  "libomm_sim.a"
+  "libomm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

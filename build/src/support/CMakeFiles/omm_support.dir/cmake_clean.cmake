@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_support.dir/Diag.cpp.o"
+  "CMakeFiles/omm_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/omm_support.dir/OStream.cpp.o"
+  "CMakeFiles/omm_support.dir/OStream.cpp.o.d"
+  "CMakeFiles/omm_support.dir/Statistic.cpp.o"
+  "CMakeFiles/omm_support.dir/Statistic.cpp.o.d"
+  "libomm_support.a"
+  "libomm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

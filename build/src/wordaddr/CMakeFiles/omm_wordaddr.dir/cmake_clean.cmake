@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omm_wordaddr.dir/WordMemory.cpp.o"
+  "CMakeFiles/omm_wordaddr.dir/WordMemory.cpp.o.d"
+  "libomm_wordaddr.a"
+  "libomm_wordaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omm_wordaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omm_wordaddr.
+# This may be replaced when dependencies are built.

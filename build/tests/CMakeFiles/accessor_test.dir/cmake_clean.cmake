@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accessor_test.dir/accessor_test.cpp.o"
+  "CMakeFiles/accessor_test.dir/accessor_test.cpp.o.d"
+  "accessor_test"
+  "accessor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

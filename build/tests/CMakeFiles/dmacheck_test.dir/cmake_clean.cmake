@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmacheck_test.dir/dmacheck_test.cpp.o"
+  "CMakeFiles/dmacheck_test.dir/dmacheck_test.cpp.o.d"
+  "dmacheck_test"
+  "dmacheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmacheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doublebuffer_test.dir/doublebuffer_test.cpp.o"
+  "CMakeFiles/doublebuffer_test.dir/doublebuffer_test.cpp.o.d"
+  "doublebuffer_test"
+  "doublebuffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doublebuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_ai_test.dir/game_ai_test.cpp.o"
+  "CMakeFiles/game_ai_test.dir/game_ai_test.cpp.o.d"
+  "game_ai_test"
+  "game_ai_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_ai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

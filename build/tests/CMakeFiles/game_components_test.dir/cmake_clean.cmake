@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_components_test.dir/game_components_test.cpp.o"
+  "CMakeFiles/game_components_test.dir/game_components_test.cpp.o.d"
+  "game_components_test"
+  "game_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

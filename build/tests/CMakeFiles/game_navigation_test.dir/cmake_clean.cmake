@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_navigation_test.dir/game_navigation_test.cpp.o"
+  "CMakeFiles/game_navigation_test.dir/game_navigation_test.cpp.o.d"
+  "game_navigation_test"
+  "game_navigation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_navigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_physics_anim_test.dir/game_physics_anim_test.cpp.o"
+  "CMakeFiles/game_physics_anim_test.dir/game_physics_anim_test.cpp.o.d"
+  "game_physics_anim_test"
+  "game_physics_anim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_physics_anim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_render_test.dir/game_render_test.cpp.o"
+  "CMakeFiles/game_render_test.dir/game_render_test.cpp.o.d"
+  "game_render_test"
+  "game_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_world_test.dir/game_world_test.cpp.o"
+  "CMakeFiles/game_world_test.dir/game_world_test.cpp.o.d"
+  "game_world_test"
+  "game_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

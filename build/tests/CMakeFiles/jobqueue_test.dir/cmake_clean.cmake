@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobqueue_test.dir/jobqueue_test.cpp.o"
+  "CMakeFiles/jobqueue_test.dir/jobqueue_test.cpp.o.d"
+  "jobqueue_test"
+  "jobqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

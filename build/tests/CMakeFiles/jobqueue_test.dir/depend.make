@@ -1,0 +1,2 @@
+# Empty dependencies file for jobqueue_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_block_test.dir/offload_block_test.cpp.o"
+  "CMakeFiles/offload_block_test.dir/offload_block_test.cpp.o.d"
+  "offload_block_test"
+  "offload_block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_context_test.dir/offload_context_test.cpp.o"
+  "CMakeFiles/offload_context_test.dir/offload_context_test.cpp.o.d"
+  "offload_context_test"
+  "offload_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_parallel_test.dir/offload_parallel_test.cpp.o"
+  "CMakeFiles/offload_parallel_test.dir/offload_parallel_test.cpp.o.d"
+  "offload_parallel_test"
+  "offload_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

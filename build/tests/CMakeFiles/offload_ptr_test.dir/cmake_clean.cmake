@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_ptr_test.dir/offload_ptr_test.cpp.o"
+  "CMakeFiles/offload_ptr_test.dir/offload_ptr_test.cpp.o.d"
+  "offload_ptr_test"
+  "offload_ptr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_ptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostream_test.dir/ostream_test.cpp.o"
+  "CMakeFiles/ostream_test.dir/ostream_test.cpp.o.d"
+  "ostream_test"
+  "ostream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

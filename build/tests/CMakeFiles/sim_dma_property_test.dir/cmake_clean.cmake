@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dma_property_test.dir/sim_dma_property_test.cpp.o"
+  "CMakeFiles/sim_dma_property_test.dir/sim_dma_property_test.cpp.o.d"
+  "sim_dma_property_test"
+  "sim_dma_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dma_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dma_test.dir/sim_dma_test.cpp.o"
+  "CMakeFiles/sim_dma_test.dir/sim_dma_test.cpp.o.d"
+  "sim_dma_test"
+  "sim_dma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

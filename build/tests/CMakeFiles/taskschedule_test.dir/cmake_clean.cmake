@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskschedule_test.dir/taskschedule_test.cpp.o"
+  "CMakeFiles/taskschedule_test.dir/taskschedule_test.cpp.o.d"
+  "taskschedule_test"
+  "taskschedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskschedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

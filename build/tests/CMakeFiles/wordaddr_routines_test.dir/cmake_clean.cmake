@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordaddr_routines_test.dir/wordaddr_routines_test.cpp.o"
+  "CMakeFiles/wordaddr_routines_test.dir/wordaddr_routines_test.cpp.o.d"
+  "wordaddr_routines_test"
+  "wordaddr_routines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordaddr_routines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

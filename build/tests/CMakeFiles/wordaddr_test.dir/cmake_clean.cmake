@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordaddr_test.dir/wordaddr_test.cpp.o"
+  "CMakeFiles/wordaddr_test.dir/wordaddr_test.cpp.o.d"
+  "wordaddr_test"
+  "wordaddr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordaddr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

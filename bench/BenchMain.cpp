@@ -1,0 +1,180 @@
+//===- bench/BenchMain.cpp - Shared benchmark entry point -----------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every bench_e* binary links this main instead of benchmark_main. On
+// top of the normal google-benchmark console output it:
+//
+//   - writes a machine-readable per-experiment JSON file
+//     (BENCH_<experiment>.json by default; --json=PATH or
+//     OMM_BENCH_JSON=PATH to redirect, --no-json or OMM_BENCH_JSON=off
+//     to disable) with every benchmark's simulated cycles and counters;
+//   - accepts --trace=PATH (or OMM_TRACE=PATH) and exposes the path to
+//     the benchmark bodies via omm::bench::traceOutputPath(), for
+//     benches that can dump a Chrome trace of a representative run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "trace/Json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+std::string TracePath;
+std::string JsonPath;
+bool JsonEnabled = true;
+
+/// One benchmark result captured for the JSON file.
+struct CapturedRun {
+  std::string Name;
+  int64_t Iterations = 0;
+  double RealTime = 0; // Simulated cycles (manual-time channel).
+  std::vector<std::pair<std::string, double>> Counters;
+};
+
+std::vector<CapturedRun> Captured;
+
+/// Console output as usual, plus capture of every run for the JSON file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      CapturedRun C;
+      C.Name = R.benchmark_name();
+      C.Iterations = static_cast<int64_t>(R.iterations);
+      C.RealTime = R.GetAdjustedRealTime();
+      for (const auto &KV : R.counters)
+        C.Counters.emplace_back(KV.first, static_cast<double>(KV.second));
+      Captured.push_back(std::move(C));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
+/// "bench/bench_e2_offload_frame" -> "e2_offload_frame".
+std::string experimentName(const char *Argv0) {
+  std::string Name = Argv0 ? Argv0 : "bench";
+  size_t Slash = Name.find_last_of("/\\");
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  if (Name.rfind("bench_", 0) == 0)
+    Name = Name.substr(6);
+  return Name;
+}
+
+/// Strips --trace/--json/--no-json from argv (google-benchmark rejects
+/// flags it does not know) and records their values.
+void parseOwnFlags(int &Argc, char **Argv) {
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      size_t Len = std::strlen(Flag);
+      if (Arg.compare(0, Len, Flag) != 0)
+        return nullptr;
+      if (Arg.size() > Len && Arg[Len] == '=')
+        return Argv[I] + Len + 1;
+      if (Arg.size() == Len && I + 1 < Argc)
+        return Argv[++I]; // Space-separated form consumes the next arg.
+      return nullptr;
+    };
+    if (Arg == "--no-json") {
+      JsonEnabled = false;
+    } else if (const char *V = Value("--trace")) {
+      TracePath = V;
+    } else if (const char *V = Value("--json")) {
+      JsonPath = V;
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+}
+
+void readEnvConfig() {
+  if (const char *Env = std::getenv("OMM_TRACE"); Env && TracePath.empty())
+    TracePath = Env;
+  if (const char *Env = std::getenv("OMM_BENCH_JSON"); Env && *Env) {
+    std::string Value = Env;
+    if (Value == "0" || Value == "off" || Value == "none")
+      JsonEnabled = false;
+    else if (JsonPath.empty())
+      JsonPath = Value;
+  }
+}
+
+bool writeResultsJson(const std::string &Experiment,
+                      const std::string &Path) {
+  std::string Out;
+  Out += "{\n  \"schema\": \"omm-bench-v1\",\n  \"experiment\": ";
+  Out += omm::trace::jsonQuote(Experiment);
+  Out += ",\n  \"time_unit\": \"simulated cycles\",\n  \"benchmarks\": [";
+  bool First = true;
+  for (const CapturedRun &R : Captured) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\"name\": " + omm::trace::jsonQuote(R.Name);
+    Out += ", \"iterations\": " + std::to_string(R.Iterations);
+    Out += ", \"sim_cycles\": " + omm::trace::jsonNumber(R.RealTime);
+    Out += ", \"counters\": {";
+    bool FirstCounter = true;
+    for (const auto &[Name, Value] : R.Counters) {
+      if (!FirstCounter)
+        Out += ", ";
+      FirstCounter = false;
+      Out += omm::trace::jsonQuote(Name) + ": " +
+             omm::trace::jsonNumber(Value);
+    }
+    Out += "}}";
+  }
+  Out += "\n  ]\n}\n";
+
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::fwrite(Out.data(), 1, Out.size(), File);
+  std::fclose(File);
+  return true;
+}
+
+} // namespace
+
+const std::string &omm::bench::traceOutputPath() { return TracePath; }
+
+int main(int Argc, char **Argv) {
+  std::string Experiment = experimentName(Argc > 0 ? Argv[0] : nullptr);
+  parseOwnFlags(Argc, Argv);
+  readEnvConfig();
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+
+  CapturingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  if (JsonEnabled) {
+    std::string Path =
+        JsonPath.empty() ? "BENCH_" + Experiment + ".json" : JsonPath;
+    if (writeResultsJson(Experiment, Path))
+      std::fprintf(stderr, "wrote %s (%zu benchmark results)\n",
+                   Path.c_str(), Captured.size());
+    else
+      std::fprintf(stderr, "error: could not write %s\n", Path.c_str());
+  }
+  return 0;
+}

@@ -25,8 +25,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
 namespace omm::bench {
+
+/// Path the user asked Chrome traces to be written to (--trace=PATH or
+/// OMM_TRACE=PATH), or empty when tracing is off. Benches that support
+/// tracing attach a trace::TraceRecorder to a representative
+/// configuration and write the trace here (see bench_e2_offload_frame).
+const std::string &traceOutputPath();
 
 /// Records one simulated-cycle measurement for this iteration.
 inline void reportSimCycles(benchmark::State &State, uint64_t Cycles) {

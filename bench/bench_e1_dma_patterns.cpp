@@ -77,7 +77,7 @@ void BM_MissingWaitRaceReports(benchmark::State &State) {
     Machine M(Config);
     DiagSink Diags;
     dmacheck::DmaRaceChecker Checker(Diags);
-    M.setObserver(&Checker);
+    M.addObserver(&Checker);
     EntityStore Entities(M, 600, 0xE1, 20.0f);
     CollisionParams Params;
     auto Pairs = broadphaseHost(Entities, Params);

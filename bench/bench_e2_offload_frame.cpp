@@ -20,12 +20,24 @@
 #include "BenchUtil.h"
 
 #include "game/GameWorld.h"
+#include "trace/ChromeTrace.h"
+#include "trace/TraceRecorder.h"
+
+#include <memory>
 
 using namespace omm::bench;
 using namespace omm::game;
 using namespace omm::sim;
 
 namespace {
+
+/// With --trace=PATH (or OMM_TRACE=PATH), the headline configuration
+/// (Figure 2 schedule, 1000 entities, 60-cycle AI nodes) records its
+/// offload-machine timeline and writes it as a Chrome trace.
+bool wantsTrace(int Mode, uint32_t Entities, uint64_t AiNodeCost) {
+  return !traceOutputPath().empty() && Mode == 1 && Entities == 1000 &&
+         AiNodeCost == 60;
+}
 
 GameWorldParams paramsFor(uint32_t Entities, uint64_t CyclesPerAiNode) {
   GameWorldParams Params;
@@ -62,6 +74,12 @@ void BM_Frame(benchmark::State &State) {
     GameWorld HostWorld(MHost, paramsFor(Entities, AiNodeCost));
     GameWorld OfflWorld(MOffl, paramsFor(Entities, AiNodeCost));
 
+    // Attaching the recorder never changes a cycle (observers are
+    // passive), so the traced measurement stays the measurement.
+    std::unique_ptr<omm::trace::TraceRecorder> Recorder;
+    if (wantsTrace(Mode, Entities, AiNodeCost))
+      Recorder = std::make_unique<omm::trace::TraceRecorder>(MOffl);
+
     uint64_t HostCycles = 0, OfflCycles = 0;
     uint64_t AiCycles = 0, CollisionCycles = 0;
     for (int I = 0; I != Frames; ++I) {
@@ -83,6 +101,17 @@ void BM_Frame(benchmark::State &State) {
     State.counters["speedup_vs_host"] =
         static_cast<double>(HostCycles) /
         static_cast<double>(OfflCycles ? OfflCycles : 1);
+
+    if (Recorder) {
+      if (omm::trace::writeChromeTraceFile(traceOutputPath(), *Recorder))
+        std::fprintf(stderr,
+                     "wrote Chrome trace to %s (open in chrome://tracing "
+                     "or ui.perfetto.dev)\n",
+                     traceOutputPath().c_str());
+      else
+        std::fprintf(stderr, "error: could not write trace to %s\n",
+                     traceOutputPath().c_str());
+    }
   }
 }
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+#===- ci.sh - Tier-1 verification + sanitizer pass -----------------------===#
+#
+# Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+# Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+#
+# Usage: ./ci.sh [jobs]
+#
+# Two configurations, both must be green:
+#   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts on)
+#   2. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== asan+ubsan: configure + build + ctest ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== all green ==="

@@ -34,7 +34,7 @@ uint64_t runStyle(DmaStyle Style, uint32_t NumEntities, uint32_t *Contacts,
                   DiagSink *Diags) {
   Machine M;
   dmacheck::DmaRaceChecker Checker(*Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
 
   EntityStore Entities(M, NumEntities, 0xC011, 18.0f);
   CollisionParams Params;

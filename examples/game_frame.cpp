@@ -18,12 +18,21 @@
 //
 //   $ ./game_frame [num_entities] [frames]
 //
+// With OMM_TRACE=out.json in the environment, the offload machine's
+// timeline is recorded and written as a Chrome trace (open in
+// chrome://tracing or ui.perfetto.dev), and a textual timeline summary
+// is printed after the comparison table.
+//
 //===----------------------------------------------------------------------===//
 
 #include "game/GameWorld.h"
 #include "support/OStream.h"
+#include "trace/ChromeTrace.h"
+#include "trace/TimelineReport.h"
+#include "trace/TraceRecorder.h"
 
 #include <cstdlib>
+#include <memory>
 
 using namespace omm;
 using namespace omm::game;
@@ -32,6 +41,7 @@ using namespace omm::sim;
 int main(int Argc, char **Argv) {
   uint32_t NumEntities = Argc > 1 ? std::atoi(Argv[1]) : 1000;
   int Frames = Argc > 2 ? std::atoi(Argv[2]) : 5;
+  const char *TracePath = std::getenv("OMM_TRACE");
 
   GameWorldParams Params;
   Params.NumEntities = NumEntities;
@@ -47,6 +57,11 @@ int main(int Argc, char **Argv) {
   Machine MHost, MOffl;
   GameWorld HostWorld(MHost, Params);
   GameWorld OfflWorld(MOffl, Params);
+
+  // Passive recording: attaching it changes no cycle of the run.
+  std::unique_ptr<trace::TraceRecorder> Recorder;
+  if (TracePath && *TracePath)
+    Recorder = std::make_unique<trace::TraceRecorder>(MOffl);
 
   OStream &OS = outs();
   OS << "Figure 2 frame schedule, " << NumEntities << " entities, "
@@ -95,5 +110,15 @@ int main(int Argc, char **Argv) {
 
   OS << "offload machine, accelerator 0 counters:\n";
   MOffl.accel(0).Counters.print(OS);
+
+  if (Recorder) {
+    OS << '\n';
+    trace::printTimelineReport(OS, *Recorder);
+    if (trace::writeChromeTraceFile(TracePath, *Recorder))
+      OS << "\nwrote Chrome trace to " << TracePath
+         << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    else
+      errs() << "error: could not write trace to " << TracePath << '\n';
+  }
   return 0;
 }

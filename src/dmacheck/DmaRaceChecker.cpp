@@ -101,8 +101,9 @@ void DmaRaceChecker::onIssue(const DmaTransfer &Transfer) {
 }
 
 void DmaRaceChecker::onWait(unsigned AccelId, uint32_t TagMask,
-                            uint64_t Cycle) {
-  (void)Cycle;
+                            uint64_t StartCycle, uint64_t EndCycle) {
+  (void)StartCycle;
+  (void)EndCycle;
   Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
                                [&](const DmaTransfer &T) {
                                  return T.AccelId == AccelId &&
@@ -154,7 +155,10 @@ void DmaRaceChecker::onHostAccess(GlobalAddr Addr, uint64_t Size,
   }
 }
 
-void DmaRaceChecker::onBlockEnd(unsigned AccelId) {
+void DmaRaceChecker::onBlockEnd(unsigned AccelId, uint64_t BlockId,
+                                uint64_t Cycle) {
+  (void)BlockId;
+  (void)Cycle;
   for (const DmaTransfer &T : Pending)
     if (T.AccelId == AccelId)
       report(RaceKind::MissingWait, AccelId, T.Id, 0,

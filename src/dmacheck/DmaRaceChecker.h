@@ -62,18 +62,22 @@ struct RaceReport {
   uint64_t OtherTransferId; ///< Second transfer, or 0 for core accesses.
 };
 
-/// Dynamic race checker; install with Machine::setObserver.
+/// Dynamic race checker; install with Machine::addObserver. Coexists
+/// with any other observer (e.g. the trace recorder) on the same
+/// machine.
 class DmaRaceChecker : public sim::DmaObserver {
 public:
   explicit DmaRaceChecker(DiagSink &Diags) : Diags(Diags) {}
 
   void onIssue(const sim::DmaTransfer &Transfer) override;
-  void onWait(unsigned AccelId, uint32_t TagMask, uint64_t Cycle) override;
+  void onWait(unsigned AccelId, uint32_t TagMask, uint64_t StartCycle,
+              uint64_t EndCycle) override;
   void onLocalAccess(unsigned AccelId, sim::LocalAddr Addr, uint32_t Size,
                      bool IsWrite, uint64_t Cycle) override;
   void onHostAccess(sim::GlobalAddr Addr, uint64_t Size, bool IsWrite,
                     uint64_t Cycle) override;
-  void onBlockEnd(unsigned AccelId) override;
+  void onBlockEnd(unsigned AccelId, uint64_t BlockId,
+                  uint64_t Cycle) override;
 
   const std::vector<RaceReport> &races() const { return Races; }
   unsigned raceCount() const { return static_cast<unsigned>(Races.size()); }

@@ -195,7 +195,7 @@ FrameStats GameWorld::doFrameOffloadAI(unsigned AccelId) {
       M, AccelId, [&](offload::OffloadContext &Ctx) {
         aiPassOffload(Ctx, 0, Entities.size());
       });
-  Stats.AiCycles = Handle.CompleteAt - FrameStart;
+  Stats.AiCycles = Handle.completeAt() - FrameStart;
 
   // Executed in parallel by host.
   uint64_t Start = M.hostClock().now();

@@ -79,6 +79,7 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   // point of a resident job kernel is to not relaunch per job).
   struct Worker {
     unsigned AccelId;
+    uint64_t BlockId;
     sim::LocalStore::Mark Mark;
     std::unique_ptr<OffloadContext> Ctx;
   };
@@ -89,7 +90,9 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
     Accel.Clock.resetTo(std::max(Accel.FreeAt, M.hostClock().now()) +
                         Cfg.OffloadLaunchCycles);
     Pool.push_back(
-        Worker{W, Accel.Store.mark(), nullptr});
+        Worker{W, M.takeBlockId(), Accel.Store.mark(), nullptr});
+    if (sim::DmaObserver *Obs = M.observer())
+      Obs->onBlockBegin(W, Pool.back().BlockId, Accel.Clock.now());
     Pool.back().Ctx = std::make_unique<OffloadContext>(M, W);
   }
 
@@ -117,7 +120,7 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   for (Worker &W : Pool) {
     sim::Accelerator &Accel = M.accel(W.AccelId);
     if (sim::DmaObserver *Obs = M.observer())
-      Obs->onBlockEnd(W.AccelId);
+      Obs->onBlockEnd(W.AccelId, W.BlockId, Accel.Clock.now());
     Accel.Dma.waitAll();
     W.Ctx.reset();
     Accel.Store.reset(W.Mark);

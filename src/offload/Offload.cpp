@@ -1,0 +1,19 @@
+//===- offload/Offload.cpp - Offload blocks and joins ---------------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/Offload.h"
+
+#include "support/OStream.h"
+
+using namespace omm;
+
+void offload::detail::reportLeakedHandle(unsigned AccelId, uint64_t BlockId) {
+  errs() << "warning: offload handle for block #" << BlockId << " (accel "
+         << AccelId
+         << ") destroyed without offloadJoin; the host never synchronised "
+            "with this block (lost parallelism)\n";
+}

@@ -30,6 +30,10 @@
 /// the block are popped when it ends (block-scoped data lives in
 /// scratch-pad memory, Section 3, property 3).
 ///
+/// Every block carries a machine-wide monotonic id, reported to the
+/// installed observers as an onBlockBegin/onBlockEnd span so tools (the
+/// race checker, the trace recorder) can attribute traffic to blocks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OMM_OFFLOAD_OFFLOAD_H
@@ -45,11 +49,83 @@
 
 namespace omm::offload {
 
+class OffloadHandle;
+
+namespace detail {
+/// Complains on stderr about a handle destroyed while still joinable —
+/// a leaked offload is silent lost parallelism: the host never syncs
+/// with the accelerator, so the block's cycles vanish from frame time.
+void reportLeakedHandle(unsigned AccelId, uint64_t BlockId);
+} // namespace detail
+
 /// Result of launching an offload block; pass to offloadJoin.
-struct OffloadHandle {
+///
+/// Move-only, and [[nodiscard]]: dropping the return value of
+/// offloadBlock on the floor means the host never joins the block. A
+/// handle destroyed while still joinable reports the leak in
+/// assertion-enabled builds.
+class [[nodiscard]] OffloadHandle {
+public:
+  OffloadHandle() = default;
+
+  OffloadHandle(OffloadHandle &&Other) noexcept
+      : AccelId(Other.AccelId), BlockId(Other.BlockId),
+        CompleteAt(Other.CompleteAt), Joinable(Other.Joinable) {
+    Other.Joinable = false;
+  }
+
+  OffloadHandle &operator=(OffloadHandle &&Other) noexcept {
+    if (this != &Other) {
+      warnIfLeaked();
+      AccelId = Other.AccelId;
+      BlockId = Other.BlockId;
+      CompleteAt = Other.CompleteAt;
+      Joinable = Other.Joinable;
+      Other.Joinable = false;
+    }
+    return *this;
+  }
+
+  OffloadHandle(const OffloadHandle &) = delete;
+  OffloadHandle &operator=(const OffloadHandle &) = delete;
+
+  ~OffloadHandle() { warnIfLeaked(); }
+
+  /// The accelerator the block ran on.
+  unsigned accelId() const { return AccelId; }
+
+  /// The machine-wide monotonic block id (pairs observer span events).
+  uint64_t blockId() const { return BlockId; }
+
+  /// Accelerator cycle at which the block's work (including the runtime's
+  /// block-exit DMA drain) is complete.
+  uint64_t completeAt() const { return CompleteAt; }
+
+  /// True until offloadJoin consumes the handle (or it is moved from).
+  bool joinable() const { return Joinable; }
+
+private:
+  OffloadHandle(unsigned AccelId, uint64_t BlockId, uint64_t CompleteAt)
+      : AccelId(AccelId), BlockId(BlockId), CompleteAt(CompleteAt),
+        Joinable(true) {}
+
+  void warnIfLeaked() {
+#ifndef NDEBUG
+    if (Joinable)
+      detail::reportLeakedHandle(AccelId, BlockId);
+#endif
+    Joinable = false;
+  }
+
+  template <typename BodyFn>
+  friend OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId,
+                                    BodyFn &&Body);
+  friend void offloadJoin(sim::Machine &M, OffloadHandle &Handle);
+
   unsigned AccelId = 0;
+  uint64_t BlockId = 0;
   uint64_t CompleteAt = 0;
-  bool Valid = false;
+  bool Joinable = false;
 };
 
 /// \returns the accelerator that will be free soonest (the runtime's
@@ -71,15 +147,17 @@ inline unsigned pickAccelerator(sim::Machine &M) {
 ///
 /// \p Body is invoked with an OffloadContext& and runs to completion in
 /// accelerator simulated time; the host clock only pays the launch cost.
-/// The runtime notifies the installed observer at block end (so the race
-/// checker can report missing waits) and then drains the DMA queue, as
-/// the real Offload runtime synchronises its software caches at block
-/// exit.
+/// The runtime notifies the installed observers of the block span
+/// (onBlockBegin when the accelerator starts, onBlockEnd when the body
+/// finishes — before the DMA drain, so the race checker can report
+/// missing waits) and then drains the DMA queue, as the real Offload
+/// runtime synchronises its software caches at block exit.
 template <typename BodyFn>
 OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
   const sim::MachineConfig &Cfg = M.config();
   M.hostClock().advance(Cfg.HostLaunchCycles);
   uint64_t LaunchTime = M.hostClock().now();
+  uint64_t BlockId = M.takeBlockId();
 
   sim::Accelerator &Accel = M.accel(AccelId);
   Accel.Clock.resetTo(std::max(Accel.FreeAt, LaunchTime) +
@@ -87,20 +165,18 @@ OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
 
   sim::LocalStore::Mark Mark = Accel.Store.mark();
   {
+    if (sim::DmaObserver *Obs = M.observer())
+      Obs->onBlockBegin(AccelId, BlockId, Accel.Clock.now());
     OffloadContext Ctx(M, AccelId);
     Body(Ctx);
     if (sim::DmaObserver *Obs = M.observer())
-      Obs->onBlockEnd(AccelId);
+      Obs->onBlockEnd(AccelId, BlockId, Accel.Clock.now());
     Accel.Dma.waitAll();
   }
   Accel.Store.reset(Mark);
   Accel.FreeAt = Accel.Clock.now();
 
-  OffloadHandle Handle;
-  Handle.AccelId = AccelId;
-  Handle.CompleteAt = Accel.FreeAt;
-  Handle.Valid = true;
-  return Handle;
+  return OffloadHandle(AccelId, BlockId, Accel.FreeAt);
 }
 
 /// As above, with the runtime choosing the least-busy accelerator.
@@ -111,11 +187,11 @@ OffloadHandle offloadBlock(sim::Machine &M, BodyFn &&Body) {
 
 /// Blocks the host until the offload completes (__offload_join).
 inline void offloadJoin(sim::Machine &M, OffloadHandle &Handle) {
-  if (!Handle.Valid)
+  if (!Handle.Joinable)
     reportFatalError("offload: joining an invalid or already-joined handle");
   M.hostCounters().JoinStallCycles +=
       M.hostClock().advanceTo(Handle.CompleteAt);
-  Handle.Valid = false;
+  Handle.Joinable = false;
 }
 
 /// Launches the block and joins immediately: the host is fully blocked

@@ -95,12 +95,15 @@ TaskSchedule::RunReport TaskSchedule::run(Machine &M) {
           std::max({Accel.FreeAt, Ready, M.hostClock().now()}) +
           Cfg.OffloadLaunchCycles;
       Accel.Clock.resetTo(Start);
+      uint64_t BlockId = M.takeBlockId();
       LocalStore::Mark Mark = Accel.Store.mark();
       {
+        if (DmaObserver *Obs = M.observer())
+          Obs->onBlockBegin(AccelId, BlockId, Accel.Clock.now());
         OffloadContext Ctx(M, AccelId);
         Tasks[Task].AccelBody(Ctx);
         if (DmaObserver *Obs = M.observer())
-          Obs->onBlockEnd(AccelId);
+          Obs->onBlockEnd(AccelId, BlockId, Accel.Clock.now());
         Accel.Dma.waitAll();
       }
       Accel.Store.reset(Mark);

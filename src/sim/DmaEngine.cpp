@@ -21,8 +21,6 @@
 using namespace omm;
 using namespace omm::sim;
 
-DmaObserver::~DmaObserver() = default;
-
 DmaEngine::DmaEngine(unsigned AccelId, const MachineConfig &Config,
                      MainMemory &Main, LocalStore &Store, CycleClock &Clock,
                      PerfCounters &Counters)
@@ -165,9 +163,10 @@ void DmaEngine::waitTagMask(uint32_t TagMask) {
   for (const DmaTransfer &T : Pending)
     if (TagMask & (1u << T.Tag))
       Target = std::max(Target, T.CompleteCycle);
+  uint64_t WaitStart = Clock.now();
   Counters.DmaStallCycles += Clock.advanceTo(Target);
   if (Observer)
-    Observer->onWait(AccelId, TagMask, Clock.now());
+    Observer->onWait(AccelId, TagMask, WaitStart, Clock.now());
   Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
                                [&](const DmaTransfer &T) {
                                  return (TagMask & (1u << T.Tag)) != 0;

@@ -10,7 +10,18 @@
 /// "The difficulty of DMA programming has prompted design of both static
 /// and dynamic analysis tools to detect DMA races" (Section 2); the
 /// dynamic checker in src/dmacheck implements this interface, in the
-/// spirit of the IBM Cell BE Race Check Library the paper cites.
+/// spirit of the IBM Cell BE Race Check Library the paper cites, and the
+/// trace recorder in src/trace implements it to reconstruct per-core
+/// timelines.
+///
+/// Observers are purely passive: every callback carries resolved
+/// simulated times and none may advance a clock, so attaching any number
+/// of observers cannot change a single cycle of the simulation.
+///
+/// Multiple observers can watch one machine at once (e.g. the race
+/// checker and the trace recorder during a profiled test run); the
+/// machine fans callbacks out through an ObserverMux, in registration
+/// order.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +31,7 @@
 #include "sim/Address.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace omm::sim {
 
@@ -56,10 +68,15 @@ public:
   virtual void onIssue(const DmaTransfer &Transfer) { (void)Transfer; }
 
   /// An accelerator blocked until every transfer in \p TagMask completed.
-  virtual void onWait(unsigned AccelId, uint32_t TagMask, uint64_t Cycle) {
+  /// The core reached the wait at \p StartCycle and resumed at
+  /// \p EndCycle; the difference is the stall the cost model charged
+  /// (zero when everything had already landed).
+  virtual void onWait(unsigned AccelId, uint32_t TagMask,
+                      uint64_t StartCycle, uint64_t EndCycle) {
     (void)AccelId;
     (void)TagMask;
-    (void)Cycle;
+    (void)StartCycle;
+    (void)EndCycle;
   }
 
   /// An accelerator core touched its local store directly.
@@ -81,9 +98,61 @@ public:
     (void)Cycle;
   }
 
-  /// An offload block finished on \p AccelId; any still-unwaited transfer
-  /// is a missing dma_wait.
-  virtual void onBlockEnd(unsigned AccelId) { (void)AccelId; }
+  /// An offload block (or resident worker context) started running on
+  /// \p AccelId at \p LaunchCycle in accelerator time. \p BlockId is
+  /// monotonic per machine, so tools can pair this with the matching
+  /// onBlockEnd even across interleaved blocks on many accelerators.
+  virtual void onBlockBegin(unsigned AccelId, uint64_t BlockId,
+                            uint64_t LaunchCycle) {
+    (void)AccelId;
+    (void)BlockId;
+    (void)LaunchCycle;
+  }
+
+  /// The body of block \p BlockId finished on \p AccelId at \p Cycle.
+  /// Fired *before* the runtime drains the DMA queue, so any transfer
+  /// still pending here was never waited for by user code (a missing
+  /// dma_wait); the drain itself is reported through onWait as usual.
+  virtual void onBlockEnd(unsigned AccelId, uint64_t BlockId,
+                          uint64_t Cycle) {
+    (void)AccelId;
+    (void)BlockId;
+    (void)Cycle;
+  }
+};
+
+/// Fans every callback out to a list of observers, in registration
+/// order. The Machine owns one of these and installs it into the DMA
+/// engines only while at least one observer is attached, so an
+/// unobserved machine pays exactly one null-pointer test per event.
+///
+/// Observers must not attach or detach observers from inside a callback.
+class ObserverMux final : public DmaObserver {
+public:
+  /// Appends \p Obs to the fan-out list; attaching an already-attached
+  /// observer is a caller bug.
+  void add(DmaObserver *Obs);
+
+  /// Detaches \p Obs; removing an observer that was never attached is a
+  /// no-op.
+  void remove(DmaObserver *Obs);
+
+  bool empty() const { return Observers.empty(); }
+  unsigned size() const { return static_cast<unsigned>(Observers.size()); }
+
+  void onIssue(const DmaTransfer &Transfer) override;
+  void onWait(unsigned AccelId, uint32_t TagMask, uint64_t StartCycle,
+              uint64_t EndCycle) override;
+  void onLocalAccess(unsigned AccelId, LocalAddr Addr, uint32_t Size,
+                     bool IsWrite, uint64_t Cycle) override;
+  void onHostAccess(GlobalAddr Addr, uint64_t Size, bool IsWrite,
+                    uint64_t Cycle) override;
+  void onBlockBegin(unsigned AccelId, uint64_t BlockId,
+                    uint64_t LaunchCycle) override;
+  void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
+
+private:
+  std::vector<DmaObserver *> Observers;
 };
 
 } // namespace omm::sim

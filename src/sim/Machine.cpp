@@ -50,10 +50,19 @@ Accelerator &Machine::accel(unsigned Id) {
   return *Accels[Id];
 }
 
-void Machine::setObserver(DmaObserver *Obs) {
-  Observer = Obs;
+void Machine::addObserver(DmaObserver *Obs) {
+  Observers.add(Obs);
+  // Engines point at the mux only while someone is listening, keeping
+  // the unobserved fast path a single null test.
   for (auto &Accel : Accels)
-    Accel->Dma.setObserver(Obs);
+    Accel->Dma.setObserver(&Observers);
+}
+
+void Machine::removeObserver(DmaObserver *Obs) {
+  Observers.remove(Obs);
+  if (Observers.empty())
+    for (auto &Accel : Accels)
+      Accel->Dma.setObserver(nullptr);
 }
 
 void Machine::chargeHostAccess(uint64_t Size, bool IsWrite, GlobalAddr Addr) {
@@ -64,8 +73,8 @@ void Machine::chargeHostAccess(uint64_t Size, bool IsWrite, GlobalAddr Addr) {
     ++HostCounters.HostStores;
   else
     ++HostCounters.HostLoads;
-  if (Observer)
-    Observer->onHostAccess(Addr, Size, IsWrite, HostClock.now());
+  if (DmaObserver *Obs = observer())
+    Obs->onHostAccess(Addr, Size, IsWrite, HostClock.now());
 }
 
 void Machine::hostReadBytes(void *Dst, GlobalAddr Src, uint64_t Size) {

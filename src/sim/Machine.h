@@ -76,10 +76,25 @@ public:
   CycleClock &hostClock() { return HostClock; }
   PerfCounters &hostCounters() { return HostCounters; }
 
-  /// Installs (or clears, with nullptr) an observer that sees all DMA and
-  /// direct memory traffic; used by the race checker.
-  void setObserver(DmaObserver *Obs);
-  DmaObserver *observer() { return Observer; }
+  /// Attaches an observer that sees all DMA and direct memory traffic;
+  /// used by the race checker and the trace recorder, which can both be
+  /// attached at once. Callbacks fan out in attachment order.
+  void addObserver(DmaObserver *Obs);
+
+  /// Detaches a previously attached observer. Detaching an observer that
+  /// is not attached is a no-op.
+  void removeObserver(DmaObserver *Obs);
+
+  /// \returns the fan-out point for observer callbacks, or nullptr when
+  /// no observer is attached (so unobserved event sites pay one test).
+  DmaObserver *observer() {
+    return Observers.empty() ? nullptr : &Observers;
+  }
+
+  /// \returns the next monotonic offload-block id. The offload runtime
+  /// stamps every block (and resident worker context) with one so
+  /// observers can pair onBlockBegin/onBlockEnd across accelerators.
+  uint64_t takeBlockId() { return NextBlockId++; }
 
   /// Host-side allocation in main memory.
   GlobalAddr allocGlobal(uint64_t Size, uint64_t Align = 16) {
@@ -124,7 +139,8 @@ private:
   std::vector<std::unique_ptr<Accelerator>> Accels;
   CycleClock HostClock;
   PerfCounters HostCounters;
-  DmaObserver *Observer = nullptr;
+  ObserverMux Observers;
+  uint64_t NextBlockId = 1;
 };
 
 } // namespace omm::sim

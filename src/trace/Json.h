@@ -1,0 +1,80 @@
+//===- trace/Json.h - Minimal JSON emission helpers ------------*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The little JSON the project needs to *emit* (Chrome trace events,
+/// bench result files), kept out of the writers so they all escape
+/// strings the same way. Emission only — the test suite carries its own
+/// tiny parser to validate what these helpers produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_TRACE_JSON_H
+#define OMM_TRACE_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace omm::trace {
+
+/// Appends \p Str to \p Out with JSON string escaping (quotes,
+/// backslash, control characters) but without the surrounding quotes.
+inline void appendJsonEscaped(std::string &Out, std::string_view Str) {
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// \returns \p Str as a quoted, escaped JSON string literal.
+inline std::string jsonQuote(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size() + 2);
+  Out += '"';
+  appendJsonEscaped(Out, Str);
+  Out += '"';
+  return Out;
+}
+
+/// Formats a double as JSON (no inf/nan — those become 0).
+inline std::string jsonNumber(double Value) {
+  if (!(Value == Value) || Value > 1e308 || Value < -1e308)
+    return "0";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  return Buf;
+}
+
+} // namespace omm::trace
+
+#endif // OMM_TRACE_JSON_H

@@ -20,7 +20,7 @@ namespace {
 
 class DmaCheckTest : public ::testing::Test {
 protected:
-  DmaCheckTest() : Checker(Diags) { M.setObserver(&Checker); }
+  DmaCheckTest() : Checker(Diags) { M.addObserver(&Checker); }
 
   Machine M;
   DiagSink Diags;

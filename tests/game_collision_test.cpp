@@ -229,7 +229,7 @@ TEST(Narrowphase, MissingWaitIsCaughtByChecker) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
 
   EntityStore Store(M, 64, 23, 10.0f);
   CollisionParams Params;
@@ -249,7 +249,7 @@ TEST(Narrowphase, CorrectStylesAreCheckerClean) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
 
   EntityStore Store(M, 64, 23, 10.0f);
   CollisionParams Params;

@@ -158,7 +158,7 @@ TEST(Integration, OffloadedFramesAreRaceCheckerClean) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
   GameWorld World(M, testWorld());
   for (int I = 0; I != 2; ++I)
     World.doFrameOffloadAI();
@@ -171,7 +171,7 @@ TEST(Integration, ComponentSchedulesAreRaceCheckerClean) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
   ComponentSystem System(M, 9, 0xC0DE);
   System.updateMonolithicOffload();
   System.updateSpecialisedOffloads();

@@ -130,7 +130,7 @@ TEST(JobQueue, DisjointChunkWritesAreRaceCheckerClean) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
   constexpr uint32_t Count = 256;
   OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, Count);
   distributeJobs(M, Count, 16,

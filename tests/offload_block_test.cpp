@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 using namespace omm::offload;
 using namespace omm::sim;
 
@@ -41,7 +43,7 @@ TEST(OffloadBlock, JoinWaitsForSlowAccelerator) {
   M.hostCompute(1000); // Host finishes early...
   offloadJoin(M, Handle);
   // ...and the join stalls it to the block's completion.
-  EXPECT_EQ(M.hostClock().now(), Handle.CompleteAt);
+  EXPECT_EQ(M.hostClock().now(), Handle.completeAt());
   EXPECT_GT(M.hostCounters().JoinStallCycles, 0u);
 }
 
@@ -61,7 +63,7 @@ TEST(OffloadBlock, SameAcceleratorSerialises) {
       M, 0, [&](OffloadContext &Ctx) { Ctx.compute(10000); });
   OffloadHandle Second = offloadBlock(
       M, 0, [&](OffloadContext &Ctx) { Ctx.compute(10000); });
-  EXPECT_GE(Second.CompleteAt, First.CompleteAt + 10000);
+  EXPECT_GE(Second.completeAt(), First.completeAt() + 10000);
   offloadJoin(M, First);
   offloadJoin(M, Second);
 }
@@ -74,7 +76,7 @@ TEST(OffloadBlock, DifferentAcceleratorsRunConcurrently) {
       M, 1, [&](OffloadContext &Ctx) { Ctx.compute(10000); });
   // Both complete within launch-skew of each other.
   uint64_t Skew = M.config().HostLaunchCycles + 10;
-  EXPECT_LE(Second.CompleteAt, First.CompleteAt + Skew);
+  EXPECT_LE(Second.completeAt(), First.completeAt() + Skew);
   offloadJoin(M, First);
   offloadJoin(M, Second);
 }
@@ -131,4 +133,62 @@ TEST(OffloadBlockDeath, DoubleJoinAborts) {
       offloadBlock(M, [](OffloadContext &Ctx) { Ctx.compute(1); });
   offloadJoin(M, Handle);
   EXPECT_DEATH(offloadJoin(M, Handle), "already-joined");
+}
+
+TEST(OffloadBlock, HandleIsMoveOnlyAndJoinableThroughMove) {
+  Machine M;
+  OffloadHandle First =
+      offloadBlock(M, 0, [](OffloadContext &Ctx) { Ctx.compute(100); });
+  uint64_t BlockId = First.blockId();
+  OffloadHandle Second = std::move(First);
+  // The moved-from handle gave up ownership of the join.
+  EXPECT_FALSE(First.joinable());
+  EXPECT_TRUE(Second.joinable());
+  EXPECT_EQ(Second.blockId(), BlockId);
+  offloadJoin(M, Second);
+  EXPECT_FALSE(Second.joinable());
+}
+
+TEST(OffloadBlockDeath, JoiningMovedFromHandleAborts) {
+  Machine M;
+  OffloadHandle First =
+      offloadBlock(M, 0, [](OffloadContext &Ctx) { Ctx.compute(100); });
+  OffloadHandle Second = std::move(First);
+  EXPECT_DEATH(offloadJoin(M, First), "already-joined");
+  offloadJoin(M, Second);
+}
+
+TEST(OffloadBlock, DroppedHandleWarns) {
+  Machine M;
+  ::testing::internal::CaptureStderr();
+  {
+    OffloadHandle Dropped =
+        offloadBlock(M, 0, [](OffloadContext &Ctx) { Ctx.compute(10); });
+    (void)Dropped; // Destroyed without offloadJoin: lost parallelism.
+  }
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(Err.find("destroyed without offloadJoin"), std::string::npos)
+      << "stderr was: " << Err;
+}
+
+TEST(OffloadBlock, JoinedHandleDoesNotWarn) {
+  Machine M;
+  ::testing::internal::CaptureStderr();
+  {
+    OffloadHandle Handle =
+        offloadBlock(M, 0, [](OffloadContext &Ctx) { Ctx.compute(10); });
+    offloadJoin(M, Handle);
+  }
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(OffloadBlock, BlockIdsAreMonotonic) {
+  Machine M;
+  OffloadHandle First =
+      offloadBlock(M, 0, [](OffloadContext &Ctx) { Ctx.compute(10); });
+  OffloadHandle Second =
+      offloadBlock(M, 1, [](OffloadContext &Ctx) { Ctx.compute(10); });
+  EXPECT_LT(First.blockId(), Second.blockId());
+  offloadJoin(M, First);
+  offloadJoin(M, Second);
 }

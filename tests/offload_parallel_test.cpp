@@ -109,7 +109,7 @@ TEST(ParallelFor, DisjointSlicesAreRaceCheckerClean) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
   OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 960);
   runParallelFill(M, Data, 960, ~0u);
   EXPECT_EQ(Checker.raceCount(), 0u);
@@ -123,7 +123,7 @@ TEST(ParallelFor, OverlappingSlicesWouldBeCaught) {
   Machine M;
   DiagSink Diags;
   dmacheck::DmaRaceChecker Checker(Diags);
-  M.setObserver(&Checker);
+  M.addObserver(&Checker);
   OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 64);
 
   OffloadGroup Group;

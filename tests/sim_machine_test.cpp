@@ -116,7 +116,7 @@ namespace {
 class CountingObserver : public DmaObserver {
 public:
   void onIssue(const DmaTransfer &) override { ++Issues; }
-  void onWait(unsigned, uint32_t, uint64_t) override { ++Waits; }
+  void onWait(unsigned, uint32_t, uint64_t, uint64_t) override { ++Waits; }
   void onHostAccess(GlobalAddr, uint64_t, bool, uint64_t) override {
     ++HostAccesses;
   }
@@ -130,7 +130,7 @@ public:
 TEST(Machine, ObserverSeesTraffic) {
   Machine M;
   CountingObserver Obs;
-  M.setObserver(&Obs);
+  M.addObserver(&Obs);
   GlobalAddr G = M.allocGlobal(64);
   M.hostWrite<uint32_t>(G, 7);
   Accelerator &A = M.accel(0);
@@ -140,10 +140,31 @@ TEST(Machine, ObserverSeesTraffic) {
   EXPECT_EQ(Obs.Issues, 1u);
   EXPECT_EQ(Obs.Waits, 1u);
   EXPECT_EQ(Obs.HostAccesses, 1u);
-  M.setObserver(nullptr);
+  M.removeObserver(&Obs);
   A.Dma.get(L, G, 64, 0);
   A.Dma.waitTag(0);
-  EXPECT_EQ(Obs.Issues, 1u); // Uninstalled observers see nothing.
+  EXPECT_EQ(Obs.Issues, 1u); // Detached observers see nothing.
+}
+
+TEST(Machine, ObserverMulticast) {
+  Machine M;
+  CountingObserver First, Second;
+  M.addObserver(&First);
+  M.addObserver(&Second);
+  GlobalAddr G = M.allocGlobal(64);
+  Accelerator &A = M.accel(0);
+  LocalAddr L = A.Store.alloc(64);
+  A.Dma.get(L, G, 64, 0);
+  A.Dma.waitTag(0);
+  EXPECT_EQ(First.Issues, 1u); // Both observers see every event.
+  EXPECT_EQ(Second.Issues, 1u);
+  EXPECT_EQ(First.Waits, 1u);
+  EXPECT_EQ(Second.Waits, 1u);
+  M.removeObserver(&First);
+  A.Dma.put(G, L, 64, 1);
+  A.Dma.waitTag(1);
+  EXPECT_EQ(First.Issues, 1u); // Removal is per-observer...
+  EXPECT_EQ(Second.Issues, 2u); // ...the rest keep observing.
 }
 
 TEST(MachineDeath, BadAcceleratorIdAborts) {

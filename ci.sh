@@ -6,9 +6,13 @@
 #
 # Usage: ./ci.sh [jobs]
 #
-# Two configurations, both must be green:
-#   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts on)
+# Three stages, all must be green:
+#   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts
+#                    on), everything except the `soak` label
 #   2. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
+#   3. soak        — the long randomised fault-injection endurance runs,
+#                    under the sanitizer build where their randomly
+#                    killed workers are most likely to expose leaks
 #
 #===----------------------------------------------------------------------===#
 
@@ -20,11 +24,14 @@ JOBS="${1:-$(nproc)}"
 echo "=== tier-1: configure + build + ctest ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ctest --test-dir build -LE soak --output-on-failure -j "$JOBS"
 
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+ctest --test-dir build-asan -LE soak --output-on-failure -j "$JOBS"
+
+echo "=== soak: fault-injection endurance under asan+ubsan ==="
+ctest --test-dir build-asan -L soak --output-on-failure -j "$JOBS"
 
 echo "=== all green ==="

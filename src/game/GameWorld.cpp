@@ -42,9 +42,9 @@ void GameWorld::buildTargetSnapshot() {
   }
 }
 
-void GameWorld::aiPassHost() {
+void GameWorld::aiPassHost(uint32_t Begin, uint32_t End) {
   uint32_t Count = Entities.size();
-  for (uint32_t I = 0; I != Count; ++I) {
+  for (uint32_t I = Begin; I != End; ++I) {
     GameEntity Self = Entities.read(I);
     TargetInfo Target = M.hostRead<TargetInfo>(
         Snapshot + uint64_t(defaultTargetFor(I, Count)) *
@@ -133,7 +133,7 @@ FrameStats GameWorld::doFrameHostOnly() {
 
   uint64_t Start = M.hostClock().now();
   buildTargetSnapshot();
-  aiPassHost();
+  aiPassHost(0, Entities.size());
   Stats.AiCycles = M.hostClock().now() - Start;
 
   Start = M.hostClock().now();
@@ -154,22 +154,65 @@ FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
   buildTargetSnapshot();
 
   // One offload block per accelerator, each owning a contiguous slice.
-  unsigned Workers = std::min(
-      {M.numAccelerators(), MaxAccelerators, Entities.size()});
+  // The slice boundaries come from the full worker budget and never
+  // move when a core refuses its slice — the slice fails over to the
+  // next live core (or the host), so recovered frames compute
+  // bit-identical state.
+  unsigned NumAccels = M.numAccelerators();
+  unsigned Workers =
+      std::min({NumAccels, MaxAccelerators, Entities.size()});
   offload::OffloadGroup Group;
-  uint32_t PerWorker = Entities.size() / Workers;
-  uint32_t Remainder = Entities.size() % Workers;
-  uint32_t Begin = 0;
   uint64_t LastFinish = FrameStart;
+  uint64_t HostAiEnd = FrameStart;
+  if (Workers == 0) {
+    // No accelerator budget at all: the host runs the whole pass, in
+    // the host-only schedule's position (before collision detection).
+    ++Stats.HostFallbackSlices;
+    ++M.hostCounters().HostFallbackChunks;
+    M.emitFault({FaultKind::HostFallback, offload::NoAccelerator,
+                 /*BlockId=*/0, M.hostClock().now(), /*Detail=*/0});
+    aiPassHost(0, Entities.size());
+    HostAiEnd = M.hostClock().now();
+  }
+  uint32_t PerWorker = Workers != 0 ? Entities.size() / Workers : 0;
+  uint32_t Remainder = Workers != 0 ? Entities.size() % Workers : 0;
+  uint32_t Begin = 0;
   for (unsigned W = 0; W != Workers; ++W) {
     uint32_t End = Begin + PerWorker + (W < Remainder ? 1 : 0);
-    Group.launchOn(M, W, [&, Begin, End](offload::OffloadContext &Ctx) {
-      aiPassOffload(Ctx, Begin, End);
-    });
-    LastFinish = std::max(LastFinish, M.accel(W).FreeAt);
+    bool Launched = false, Retried = false;
+    for (unsigned Try = 0; Try != NumAccels; ++Try) {
+      unsigned A = (W + Try) % NumAccels;
+      if (!M.accel(A).Alive) {
+        Retried = true;
+        continue;
+      }
+      offload::OffloadStatus St = Group.launchOn(
+          M, A, [&, Begin, End](offload::OffloadContext &Ctx) {
+            aiPassOffload(Ctx, Begin, End);
+          });
+      if (St == offload::OffloadStatus::Ok) {
+        if (Retried) {
+          ++Stats.FailoverSlices;
+          ++M.hostCounters().FailoverChunks;
+        }
+        LastFinish = std::max(LastFinish, M.accel(A).FreeAt);
+        Launched = true;
+        break;
+      }
+      ++Stats.FailedBlocks;
+      Retried = true;
+    }
+    if (!Launched) {
+      ++Stats.HostFallbackSlices;
+      ++M.hostCounters().HostFallbackChunks;
+      M.emitFault({FaultKind::HostFallback, offload::NoAccelerator,
+                   /*BlockId=*/0, M.hostClock().now(), Begin});
+      aiPassHost(Begin, End);
+      HostAiEnd = M.hostClock().now();
+    }
     Begin = End;
   }
-  Stats.AiCycles = LastFinish - FrameStart;
+  Stats.AiCycles = std::max(LastFinish, HostAiEnd) - FrameStart;
 
   uint64_t Start = M.hostClock().now();
   collisionPassHost(Stats);
@@ -190,20 +233,53 @@ FrameStats GameWorld::doFrameOffloadAI(unsigned AccelId) {
   // The AI inputs are snapshotted before the offload launches.
   buildTargetSnapshot();
 
-  // __offload { this->calculateStrategy(...); }
-  offload::OffloadHandle Handle = offload::offloadBlock(
-      M, AccelId, [&](offload::OffloadContext &Ctx) {
-        aiPassOffload(Ctx, 0, Entities.size());
-      });
-  Stats.AiCycles = Handle.completeAt() - FrameStart;
+  auto AiBody = [&](offload::OffloadContext &Ctx) {
+    aiPassOffload(Ctx, 0, Entities.size());
+  };
+
+  // __offload { this->calculateStrategy(...); } — with failover: a
+  // faulted launch is joined (the host pays the watchdog's detection
+  // latency) and re-issued on the least-busy surviving core; at most
+  // one attempt per accelerator bounds the loop.
+  if (M.numAccelerators() == 0)
+    AccelId = offload::NoAccelerator;
+  offload::OffloadHandle Handle = offload::offloadBlock(M, AccelId, AiBody);
+  unsigned Attempts = 1;
+  while (!Handle.ok()) {
+    ++Stats.FailedBlocks;
+    offload::offloadJoin(M, Handle);
+    unsigned Next = offload::pickAccelerator(M);
+    if (Next == offload::NoAccelerator || Attempts >= M.numAccelerators())
+      break;
+    Handle = offload::offloadBlock(M, Next, AiBody);
+    ++Attempts;
+  }
+  if (Handle.ok() && Attempts > 1) {
+    ++Stats.FailoverSlices;
+    ++M.hostCounters().FailoverChunks;
+  }
+  if (!Handle.ok()) {
+    // Every accelerator refused the block: the host runs the pass
+    // itself, in the host-only schedule's position, computing the same
+    // state the offload would have.
+    ++Stats.HostFallbackSlices;
+    ++M.hostCounters().HostFallbackChunks;
+    M.emitFault({FaultKind::HostFallback, offload::NoAccelerator,
+                 /*BlockId=*/0, M.hostClock().now(), /*Detail=*/0});
+    aiPassHost(0, Entities.size());
+    Stats.AiCycles = M.hostClock().now() - FrameStart;
+  } else {
+    Stats.AiCycles = Handle.completeAt() - FrameStart;
+  }
 
   // Executed in parallel by host.
   uint64_t Start = M.hostClock().now();
   collisionPassHost(Stats);
   Stats.CollisionCycles = M.hostClock().now() - Start;
 
-  // __offload_join(h);
-  offload::offloadJoin(M, Handle);
+  // __offload_join(h); a handle that failed over was already joined.
+  if (Handle.joinable())
+    offload::offloadJoin(M, Handle);
 
   updateAndRender(Stats);
 

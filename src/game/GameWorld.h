@@ -64,6 +64,10 @@ struct FrameStats {
   uint64_t RenderCycles = 0;
   uint32_t PairsTested = 0;
   uint32_t Contacts = 0;
+  /// Fault-recovery work this frame (all zero on a healthy machine).
+  uint32_t FailedBlocks = 0;       ///< AI launches that faulted.
+  uint32_t FailoverSlices = 0;     ///< AI slices re-homed to another core.
+  uint32_t HostFallbackSlices = 0; ///< AI slices the host ran itself.
 };
 
 /// The game world: entities, poses, and the fixed frame schedule.
@@ -82,12 +86,16 @@ public:
 
   /// Runs one frame with AI offloaded (Figure 2): the offload block runs
   /// calculateStrategy for all entities while the host detects
-  /// collisions; the join precedes updateEntities.
+  /// collisions; the join precedes updateEntities. A faulted launch
+  /// fails over to another live accelerator, or to the host when none
+  /// is left; world state stays bit-identical either way (FrameStats
+  /// records the recovery work).
   FrameStats doFrameOffloadAI(unsigned AccelId = 0);
 
   /// As doFrameOffloadAI, but the AI pass is split over up to
   /// \p MaxAccelerators accelerators (each double-buffering its own
-  /// entity slice with its own target cache). Bit-identical state.
+  /// entity slice with its own target cache). Bit-identical state, with
+  /// the same per-slice failover as parallelForRange.
   FrameStats doFrameOffloadAiParallel(unsigned MaxAccelerators = ~0u);
 
   /// Bit-exact world state checksum (entities + poses).
@@ -100,8 +108,10 @@ private:
   /// schedules run this as the first step of the AI stage).
   void buildTargetSnapshot();
 
-  /// Host-side AI pass (reads targets with ordinary loads).
-  void aiPassHost();
+  /// Host-side AI pass over [Begin, End) (reads targets with ordinary
+  /// loads). Also the fallback when an offloaded slice has no live
+  /// accelerator to run on.
+  void aiPassHost(uint32_t Begin, uint32_t End);
 
   /// Accelerator-side AI pass over [Begin, End): streams entities
   /// double-buffered, reads target snapshots through a software cache

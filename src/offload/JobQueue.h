@@ -14,6 +14,14 @@
 /// clock is lowest, which is exactly what a hardware work-stealing queue
 /// converges to, and is deterministic here.
 ///
+/// The queue is fault-tolerant: a worker that dies (fault injection, or
+/// an accelerator that was already dead) has its chunk re-queued onto
+/// the surviving workers, and when no worker is left — including the
+/// degenerate machines with zero accelerators or MaxWorkers == 0 — the
+/// remaining chunks run on the host. Workers die at chunk boundaries
+/// (after popping, before the body runs), so every chunk executes
+/// exactly once and results are bit-identical to a fault-free run.
+///
 /// Use parallelForRange for uniform work (lower overhead, contiguous
 /// slices); use distributeJobs when items vary wildly (e.g. collision
 /// clusters, path queries of different lengths).
@@ -23,6 +31,7 @@
 #ifndef OMM_OFFLOAD_JOBQUEUE_H
 #define OMM_OFFLOAD_JOBQUEUE_H
 
+#include "offload/Offload.h"
 #include "offload/OffloadContext.h"
 
 #include <algorithm>
@@ -34,10 +43,19 @@ namespace omm::offload {
 /// Per-run statistics of a dynamic distribution.
 struct JobRunStats {
   uint64_t MakespanCycles = 0;
-  /// Busy cycles per worker, for balance inspection.
+  /// Busy cycles per opened worker, for balance inspection.
   std::vector<uint64_t> WorkerBusyCycles;
-  /// Chunks executed per worker.
+  /// Chunks executed per opened worker.
   std::vector<uint32_t> WorkerChunks;
+  /// Worker launches that failed outright (dead core, injected launch
+  /// fault); the pool opens without them.
+  uint32_t FailedLaunches = 0;
+  /// Workers that died mid-run, at a chunk boundary.
+  uint32_t DeadWorkers = 0;
+  /// Chunks popped by a worker that died and were re-queued.
+  uint32_t RequeuedChunks = 0;
+  /// Chunks that ran on the host because no worker was available.
+  uint32_t HostChunks = 0;
 
   /// max/mean busy ratio; 1.0 = perfectly balanced.
   double imbalance() const {
@@ -58,7 +76,10 @@ struct JobRunStats {
 /// Runs Body(Ctx, Begin, End) for chunks of [0, Count), dynamically
 /// assigning each chunk to the least-loaded accelerator. Bodies of
 /// different chunks must touch disjoint outer state (as with
-/// parallelForRange).
+/// parallelForRange). Survives accelerator death and machines with no
+/// usable accelerator at all, provided the body is host-invocable
+/// (takes its context parameter as auto&); see JobRunStats for what
+/// went wrong and where the work ended up.
 template <typename BodyFn>
 JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
                            uint32_t ChunkSize, BodyFn &&Body,
@@ -68,56 +89,50 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
     return Stats;
   if (ChunkSize == 0)
     ChunkSize = 1;
-  unsigned Workers = std::min(M.numAccelerators(), MaxWorkers);
-  Stats.WorkerBusyCycles.assign(Workers, 0);
-  Stats.WorkerChunks.assign(Workers, 0);
+  unsigned Budget = std::min(M.numAccelerators(), MaxWorkers);
 
   const sim::MachineConfig &Cfg = M.config();
+  sim::FaultInjector *FI = M.faults();
   uint64_t FrameStart = M.hostClock().now();
+  uint64_t FrameEnd = FrameStart;
 
-  // Open one worker block per accelerator (one launch each — the whole
-  // point of a resident job kernel is to not relaunch per job).
+  // Open one worker block per usable accelerator (one launch each — the
+  // whole point of a resident job kernel is to not relaunch per job).
   struct Worker {
     unsigned AccelId;
     uint64_t BlockId;
+    unsigned StatIndex;
     sim::LocalStore::Mark Mark;
     std::unique_ptr<OffloadContext> Ctx;
   };
   std::vector<Worker> Pool;
-  for (unsigned W = 0; W != Workers; ++W) {
+  for (unsigned W = 0; W != Budget; ++W) {
     M.hostClock().advance(Cfg.HostLaunchCycles);
+    uint64_t BlockId = M.takeBlockId();
+    if (detail::classifyLaunch(M, W, BlockId) != OffloadStatus::Ok) {
+      // classifyLaunch already billed the fault; the pool just opens
+      // one worker short. A core killed during launch still burned
+      // cycles that bound the makespan.
+      ++Stats.FailedLaunches;
+      FrameEnd = std::max(FrameEnd, M.accel(W).FreeAt);
+      continue;
+    }
     sim::Accelerator &Accel = M.accel(W);
     Accel.Clock.resetTo(std::max(Accel.FreeAt, M.hostClock().now()) +
                         Cfg.OffloadLaunchCycles);
+    unsigned StatIndex = static_cast<unsigned>(Pool.size());
     Pool.push_back(
-        Worker{W, M.takeBlockId(), Accel.Store.mark(), nullptr});
+        Worker{W, BlockId, StatIndex, Accel.Store.mark(), nullptr});
     if (sim::DmaObserver *Obs = M.observer())
-      Obs->onBlockBegin(W, Pool.back().BlockId, Accel.Clock.now());
+      Obs->onBlockBegin(W, BlockId, Accel.Clock.now());
     Pool.back().Ctx = std::make_unique<OffloadContext>(M, W);
   }
+  Stats.WorkerBusyCycles.assign(Pool.size(), 0);
+  Stats.WorkerChunks.assign(Pool.size(), 0);
 
-  // Hand each chunk to the worker with the lowest simulated clock —
-  // the deterministic equivalent of "whoever pops the queue first".
-  for (uint32_t Begin = 0; Begin < Count; Begin += ChunkSize) {
-    uint32_t End = std::min(Count, Begin + ChunkSize);
-    unsigned Best = 0;
-    for (unsigned W = 1; W != Workers; ++W)
-      if (M.accel(W).Clock.now() < M.accel(Best).Clock.now())
-        Best = W;
-    Worker &Chosen = Pool[Best];
-    sim::Accelerator &Accel = M.accel(Chosen.AccelId);
-    // Popping the shared queue costs an atomic round trip to main
-    // memory (modelled as one DMA latency).
-    Accel.Clock.advance(Cfg.DmaLatencyCycles);
-    uint64_t Start = Accel.Clock.now();
-    Body(*Chosen.Ctx, Begin, End);
-    Stats.WorkerBusyCycles[Best] += Accel.Clock.now() - Start;
-    ++Stats.WorkerChunks[Best];
-  }
-
-  // Retire the workers.
-  uint64_t FrameEnd = FrameStart;
-  for (Worker &W : Pool) {
+  // Closes one worker's block and folds its finish time into the
+  // makespan; used both for mid-run deaths and for orderly retirement.
+  auto CloseWorker = [&](Worker &W) {
     sim::Accelerator &Accel = M.accel(W.AccelId);
     if (sim::DmaObserver *Obs = M.observer())
       Obs->onBlockEnd(W.AccelId, W.BlockId, Accel.Clock.now());
@@ -126,7 +141,61 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
     Accel.Store.reset(W.Mark);
     Accel.FreeAt = Accel.Clock.now();
     FrameEnd = std::max(FrameEnd, Accel.FreeAt);
+  };
+
+  // Hand each chunk to the worker with the lowest simulated clock —
+  // the deterministic equivalent of "whoever pops the queue first". A
+  // chunk whose worker dies on the pop is re-queued; the retry loop is
+  // bounded because every iteration either runs the chunk or shrinks
+  // the pool.
+  for (uint32_t Begin = 0; Begin < Count; Begin += ChunkSize) {
+    uint32_t End = std::min(Count, Begin + ChunkSize);
+    for (;;) {
+      if (Pool.empty()) {
+        // Nowhere left to offload: the host works the queue itself.
+        ++Stats.HostChunks;
+        ++M.hostCounters().HostFallbackChunks;
+        M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
+                     /*BlockId=*/0, M.hostClock().now(), Begin});
+        detail::runChunkOnHost(M, Body, Begin, End);
+        break;
+      }
+      unsigned Best = 0;
+      for (unsigned W = 1; W != Pool.size(); ++W)
+        if (M.accel(Pool[W].AccelId).Clock.now() <
+            M.accel(Pool[Best].AccelId).Clock.now())
+          Best = W;
+      Worker &Chosen = Pool[Best];
+      sim::Accelerator &Accel = M.accel(Chosen.AccelId);
+      // Popping the shared queue costs an atomic round trip to main
+      // memory (modelled as one DMA latency).
+      Accel.Clock.advance(Cfg.DmaLatencyCycles);
+      if (FI && FI->chunkFails(Chosen.AccelId)) {
+        // The worker died holding the chunk, before the body touched
+        // any state: put the chunk back and bury the worker.
+        ++Stats.DeadWorkers;
+        ++Stats.RequeuedChunks;
+        ++M.hostCounters().FailoverChunks;
+        M.emitFault({sim::FaultKind::ChunkRequeued, Chosen.AccelId,
+                     Chosen.BlockId, Accel.Clock.now(), Begin});
+        M.killAccelerator(Chosen.AccelId, Chosen.BlockId);
+        CloseWorker(Chosen);
+        Pool.erase(Pool.begin() + Best);
+        continue;
+      }
+      uint64_t Start = Accel.Clock.now();
+      Body(*Chosen.Ctx, Begin, End);
+      Stats.WorkerBusyCycles[Chosen.StatIndex] +=
+          Accel.Clock.now() - Start;
+      ++Stats.WorkerChunks[Chosen.StatIndex];
+      break;
+    }
   }
+
+  // Retire the survivors.
+  for (Worker &W : Pool)
+    CloseWorker(W);
+  FrameEnd = std::max(FrameEnd, M.hostClock().now());
   M.hostCounters().JoinStallCycles += M.hostClock().advanceTo(FrameEnd);
   Stats.MakespanCycles = FrameEnd - FrameStart;
   return Stats;

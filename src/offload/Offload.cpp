@@ -10,10 +10,83 @@
 #include "support/OStream.h"
 
 using namespace omm;
+using namespace omm::sim;
 
 void offload::detail::reportLeakedHandle(unsigned AccelId, uint64_t BlockId) {
   errs() << "warning: offload handle for block #" << BlockId << " (accel "
          << AccelId
          << ") destroyed without offloadJoin; the host never synchronised "
             "with this block (lost parallelism)\n";
+}
+
+const char *offload::toString(OffloadStatus Status) {
+  switch (Status) {
+  case OffloadStatus::Ok:
+    return "ok";
+  case OffloadStatus::AcceleratorDead:
+    return "accelerator_dead";
+  case OffloadStatus::LocalStoreExhausted:
+    return "local_store_exhausted";
+  case OffloadStatus::NoAcceleratorAvailable:
+    return "no_accelerator_available";
+  }
+  return "unknown";
+}
+
+offload::OffloadStatus offload::detail::classifyLaunch(Machine &M,
+                                                       unsigned AccelId,
+                                                       uint64_t BlockId) {
+  uint64_t Now = M.hostClock().now();
+  if (AccelId == NoAccelerator) {
+    ++M.hostCounters().LaunchFaults;
+    M.emitFault({FaultKind::NoAcceleratorAvailable, AccelId, BlockId, Now,
+                 /*Detail=*/0});
+    return OffloadStatus::NoAcceleratorAvailable;
+  }
+
+  Accelerator &Accel = M.accel(AccelId); // Out-of-range ids stay fatal.
+  if (!Accel.Alive) {
+    ++M.hostCounters().LaunchFaults;
+    M.emitFault({FaultKind::LaunchOnDeadAccelerator, AccelId, BlockId, Now,
+                 /*Detail=*/0});
+    return OffloadStatus::AcceleratorDead;
+  }
+
+  FaultInjector *FI = M.faults();
+  if (!FI)
+    return OffloadStatus::Ok;
+  switch (FI->classifyLaunch(AccelId)) {
+  case LaunchFault::None:
+    return OffloadStatus::Ok;
+  case LaunchFault::AcceleratorDeath: {
+    // The core accepts the launch, burns some cycles, and dies before
+    // the body's first instruction — mid-block from the machine's view,
+    // but before any side effect, so recovery can simply re-run the
+    // block elsewhere.
+    uint64_t Wasted = FI->killWastedCycles(AccelId);
+    Accel.Clock.resetTo(std::max(Accel.FreeAt, Now) +
+                        M.config().OffloadLaunchCycles + Wasted);
+    Accel.FreeAt = Accel.Clock.now();
+    ++M.hostCounters().LaunchFaults;
+    M.killAccelerator(AccelId, BlockId);
+    return OffloadStatus::AcceleratorDead;
+  }
+  case LaunchFault::LocalStoreExhausted:
+    // The arena reservation fails before the core is disturbed; the
+    // core survives and stays schedulable.
+    ++M.hostCounters().LaunchFaults;
+    M.emitFault({FaultKind::LocalStoreExhausted, AccelId, BlockId, Now,
+                 /*Detail=*/0});
+    return OffloadStatus::LocalStoreExhausted;
+  }
+  return OffloadStatus::Ok;
+}
+
+offload::OffloadHandle offload::detail::failedHandle(Machine &M,
+                                                     unsigned AccelId,
+                                                     uint64_t BlockId,
+                                                     OffloadStatus Status) {
+  uint64_t DetectAt =
+      M.hostClock().now() + M.config().Faults.FaultDetectCycles;
+  return OffloadHandle(AccelId, BlockId, DetectAt, Status);
 }

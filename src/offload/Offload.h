@@ -51,11 +51,48 @@ namespace omm::offload {
 
 class OffloadHandle;
 
+/// Sentinel accelerator id meaning "no accelerator" (pickAccelerator on
+/// a machine with no live core, and the AccelId of failed auto-picks).
+inline constexpr unsigned NoAccelerator = ~0u;
+
+/// Outcome of an offload launch. The runtime stopped assuming success
+/// when the fault injector arrived (MachineConfig::Faults): a launch can
+/// now find its core dead, fail to reserve its local-store arena, or
+/// have no core to go to at all. A non-Ok handle is still joinable —
+/// joining charges the host the fault-detection latency — but the block
+/// body never ran, so the caller must re-issue the work elsewhere
+/// (another accelerator, or the host).
+enum class OffloadStatus : uint8_t {
+  Ok,
+  AcceleratorDead,       ///< The target core is (or just died) dead.
+  LocalStoreExhausted,   ///< The block arena could not be reserved.
+  NoAcceleratorAvailable,///< Auto-pick found no live core.
+};
+
+/// \returns a stable name for \p Status (diagnostics and reports).
+const char *toString(OffloadStatus Status);
+
 namespace detail {
 /// Complains on stderr about a handle destroyed while still joinable —
 /// a leaked offload is silent lost parallelism: the host never syncs
 /// with the accelerator, so the block's cycles vanish from frame time.
 void reportLeakedHandle(unsigned AccelId, uint64_t BlockId);
+
+/// Launch-time fault check shared by offloadBlock and the job queue's
+/// resident workers. \returns Ok if the launch may proceed; otherwise
+/// the launch must not run the body: liveness was consulted and, when a
+/// fault injector is attached, its verdict applied — a dying core's
+/// clock has been burned and the core marked dead, counters bumped and
+/// the fault event emitted. AccelId == NoAccelerator yields
+/// NoAcceleratorAvailable.
+OffloadStatus classifyLaunch(sim::Machine &M, unsigned AccelId,
+                             uint64_t BlockId);
+
+/// Builds the joinable-but-failed handle for a faulted launch: joining
+/// it stalls the host until the runtime watchdog reports the fault
+/// (FaultDetectCycles after the launch).
+OffloadHandle failedHandle(sim::Machine &M, unsigned AccelId,
+                           uint64_t BlockId, OffloadStatus Status);
 } // namespace detail
 
 /// Result of launching an offload block; pass to offloadJoin.
@@ -70,7 +107,8 @@ public:
 
   OffloadHandle(OffloadHandle &&Other) noexcept
       : AccelId(Other.AccelId), BlockId(Other.BlockId),
-        CompleteAt(Other.CompleteAt), Joinable(Other.Joinable) {
+        CompleteAt(Other.CompleteAt), Status(Other.Status),
+        Joinable(Other.Joinable) {
     Other.Joinable = false;
   }
 
@@ -80,6 +118,7 @@ public:
       AccelId = Other.AccelId;
       BlockId = Other.BlockId;
       CompleteAt = Other.CompleteAt;
+      Status = Other.Status;
       Joinable = Other.Joinable;
       Other.Joinable = false;
     }
@@ -98,16 +137,23 @@ public:
   uint64_t blockId() const { return BlockId; }
 
   /// Accelerator cycle at which the block's work (including the runtime's
-  /// block-exit DMA drain) is complete.
+  /// block-exit DMA drain) is complete. For a failed launch this is the
+  /// host cycle at which the fault is detected.
   uint64_t completeAt() const { return CompleteAt; }
+
+  /// Outcome of the launch; on anything but Ok the body never ran and
+  /// the work must be re-issued.
+  OffloadStatus status() const { return Status; }
+  bool ok() const { return Status == OffloadStatus::Ok; }
 
   /// True until offloadJoin consumes the handle (or it is moved from).
   bool joinable() const { return Joinable; }
 
 private:
-  OffloadHandle(unsigned AccelId, uint64_t BlockId, uint64_t CompleteAt)
+  OffloadHandle(unsigned AccelId, uint64_t BlockId, uint64_t CompleteAt,
+                OffloadStatus Status = OffloadStatus::Ok)
       : AccelId(AccelId), BlockId(BlockId), CompleteAt(CompleteAt),
-        Joinable(true) {}
+        Status(Status), Joinable(true) {}
 
   void warnIfLeaked() {
 #ifndef NDEBUG
@@ -120,23 +166,31 @@ private:
   template <typename BodyFn>
   friend OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId,
                                     BodyFn &&Body);
-  friend void offloadJoin(sim::Machine &M, OffloadHandle &Handle);
+  friend OffloadStatus offloadJoin(sim::Machine &M, OffloadHandle &Handle);
+  friend OffloadHandle detail::failedHandle(sim::Machine &M,
+                                            unsigned AccelId,
+                                            uint64_t BlockId,
+                                            OffloadStatus Status);
 
   unsigned AccelId = 0;
   uint64_t BlockId = 0;
   uint64_t CompleteAt = 0;
+  OffloadStatus Status = OffloadStatus::Ok;
   bool Joinable = false;
 };
 
-/// \returns the accelerator that will be free soonest (the runtime's
-/// simple scheduling policy).
+/// \returns the live accelerator that will be free soonest (the
+/// runtime's simple scheduling policy), or NoAccelerator when every
+/// core is dead or the machine has none.
 inline unsigned pickAccelerator(sim::Machine &M) {
-  unsigned Best = 0;
+  unsigned Best = NoAccelerator;
   uint64_t BestFree = UINT64_MAX;
   for (unsigned I = 0, E = M.numAccelerators(); I != E; ++I) {
-    uint64_t FreeAt = M.accel(I).FreeAt;
-    if (FreeAt < BestFree) {
-      BestFree = FreeAt;
+    sim::Accelerator &Accel = M.accel(I);
+    if (!Accel.Alive)
+      continue;
+    if (Accel.FreeAt < BestFree) {
+      BestFree = Accel.FreeAt;
       Best = I;
     }
   }
@@ -159,6 +213,13 @@ OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
   uint64_t LaunchTime = M.hostClock().now();
   uint64_t BlockId = M.takeBlockId();
 
+  // Dead cores and injected launch faults abort here, before the body
+  // can run or move a byte — fail-stop at the launch boundary is what
+  // keeps recovered runs bit-identical to fault-free ones.
+  if (OffloadStatus Fault = detail::classifyLaunch(M, AccelId, BlockId);
+      Fault != OffloadStatus::Ok)
+    return detail::failedHandle(M, AccelId, BlockId, Fault);
+
   sim::Accelerator &Accel = M.accel(AccelId);
   Accel.Clock.resetTo(std::max(Accel.FreeAt, LaunchTime) +
                       Cfg.OffloadLaunchCycles);
@@ -179,28 +240,33 @@ OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
   return OffloadHandle(AccelId, BlockId, Accel.FreeAt);
 }
 
-/// As above, with the runtime choosing the least-busy accelerator.
+/// As above, with the runtime choosing the least-busy live accelerator.
+/// With no live accelerator the launch fails with
+/// NoAcceleratorAvailable (the body does not run).
 template <typename BodyFn>
 OffloadHandle offloadBlock(sim::Machine &M, BodyFn &&Body) {
   return offloadBlock(M, pickAccelerator(M), std::forward<BodyFn>(Body));
 }
 
 /// Blocks the host until the offload completes (__offload_join).
-inline void offloadJoin(sim::Machine &M, OffloadHandle &Handle) {
+/// \returns the block's launch status: on anything but Ok the body
+/// never ran and the caller must re-issue the work.
+inline OffloadStatus offloadJoin(sim::Machine &M, OffloadHandle &Handle) {
   if (!Handle.Joinable)
     reportFatalError("offload: joining an invalid or already-joined handle");
   M.hostCounters().JoinStallCycles +=
       M.hostClock().advanceTo(Handle.CompleteAt);
   Handle.Joinable = false;
+  return Handle.Status;
 }
 
 /// Launches the block and joins immediately: the host is fully blocked
 /// for the duration (no overlap). Useful as the "offload with no
 /// restructuring" baseline.
 template <typename BodyFn>
-void offloadSync(sim::Machine &M, BodyFn &&Body) {
+OffloadStatus offloadSync(sim::Machine &M, BodyFn &&Body) {
   OffloadHandle Handle = offloadBlock(M, std::forward<BodyFn>(Body));
-  offloadJoin(M, Handle);
+  return offloadJoin(M, Handle);
 }
 
 /// A set of concurrent offload blocks joined together — the shape of the
@@ -208,21 +274,34 @@ void offloadSync(sim::Machine &M, BodyFn &&Body) {
 /// offloads", Section 4.1) spread over the available accelerators.
 class OffloadGroup {
 public:
-  template <typename BodyFn> void launch(sim::Machine &M, BodyFn &&Body) {
+  /// Launches on the least-busy live accelerator. \returns the launch
+  /// status (known immediately; the simulator is synchronous), so
+  /// callers can re-issue a failed launch before joining.
+  template <typename BodyFn>
+  OffloadStatus launch(sim::Machine &M, BodyFn &&Body) {
     Handles.push_back(offloadBlock(M, std::forward<BodyFn>(Body)));
+    return Handles.back().status();
   }
 
   template <typename BodyFn>
-  void launchOn(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
+  OffloadStatus launchOn(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
     Handles.push_back(
         offloadBlock(M, AccelId, std::forward<BodyFn>(Body)));
+    return Handles.back().status();
   }
 
-  /// Joins every launched block.
-  void joinAll(sim::Machine &M) {
-    for (OffloadHandle &Handle : Handles)
-      offloadJoin(M, Handle);
+  /// Joins every launched block. \returns Ok if every block ran, else
+  /// the first failure's status (failed launches whose work the caller
+  /// already re-issued still join here, paying the detection latency).
+  OffloadStatus joinAll(sim::Machine &M) {
+    OffloadStatus Worst = OffloadStatus::Ok;
+    for (OffloadHandle &Handle : Handles) {
+      OffloadStatus Status = offloadJoin(M, Handle);
+      if (Worst == OffloadStatus::Ok)
+        Worst = Status;
+    }
     Handles.clear();
+    return Worst;
   }
 
   unsigned pendingCount() const {

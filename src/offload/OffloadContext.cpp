@@ -27,12 +27,29 @@ using namespace omm::sim;
 static constexpr uint32_t BounceBufferBytes = 4096;
 
 OffloadContext::OffloadContext(sim::Machine &M, unsigned AccelId)
-    : M(M), Accel(M.accel(AccelId)), BounceSize(BounceBufferBytes),
-      BounceTag(M.config().NumDmaTags - 1) {
+    : M(M), Accel(M.accel(AccelId)), Faults(M.faults()),
+      BounceSize(BounceBufferBytes), BounceTag(M.config().NumDmaTags - 1) {
   BounceBuffer = Accel.Store.alloc(BounceSize);
 }
 
 OffloadContext::~OffloadContext() = default;
+
+void OffloadContext::retryRejectedCommands() {
+  const MachineConfig &Cfg = M.config();
+  uint64_t Backoff = Cfg.Faults.DmaRetryBackoffCycles;
+  while (Faults->dmaCommandFails(accelId())) {
+    // A rejected command costs its issue cycles plus a software backoff
+    // before the re-issue; the backoff doubles per consecutive
+    // rejection, like a queue-full retry loop on real MFC firmware.
+    Accel.Clock.advance(Cfg.DmaIssueCycles + Backoff);
+    ++Accel.Counters.DmaRetries;
+    Accel.Counters.DmaRetryStallCycles += Backoff;
+    if (DmaObserver *Obs = M.observer())
+      Obs->onFault({FaultKind::DmaCommandRejected, accelId(), /*BlockId=*/0,
+                    Accel.Clock.now(), Backoff});
+    Backoff *= 2;
+  }
+}
 
 void OffloadContext::noteLocalAccess(LocalAddr Addr, uint32_t Size,
                                      bool IsWrite) {
@@ -79,9 +96,8 @@ void OffloadContext::directOuterRead(void *Dst, GlobalAddr Src,
     uint64_t End = alignTo(Src.Value + Chunk, Cfg.DmaAlignment);
     uint32_t RegionSize = static_cast<uint32_t>(End - Start);
 
-    Accel.Dma.getLarge(BounceBuffer, GlobalAddr(Start), RegionSize,
-                       BounceTag);
-    Accel.Dma.waitTag(BounceTag);
+    dmaGetLarge(BounceBuffer, GlobalAddr(Start), RegionSize, BounceTag);
+    dmaWait(BounceTag);
     localReadBytes(Out, BounceBuffer + static_cast<uint32_t>(
                                            Src.Value - Start),
                    Chunk);
@@ -103,8 +119,8 @@ void OffloadContext::directOuterWrite(GlobalAddr Dst, const void *Src,
                                                               Chunk, Cfg.DmaAlignment))) {
       // Directly expressible as one legal transfer.
       localWriteBytes(BounceBuffer, In, Chunk);
-      Accel.Dma.put(Dst, BounceBuffer, Chunk, BounceTag);
-      Accel.Dma.waitTag(BounceTag);
+      dmaPut(Dst, BounceBuffer, Chunk, BounceTag);
+      dmaWait(BounceTag);
     } else {
       // Read-modify-write of the enclosing aligned region. This is what
       // makes unstructured outer stores so costly on these machines.
@@ -113,15 +129,13 @@ void OffloadContext::directOuterWrite(GlobalAddr Dst, const void *Src,
       uint32_t RegionSize = static_cast<uint32_t>(End - Start);
       assert(RegionSize <= BounceSize && "bounce buffer chunking bug");
 
-      Accel.Dma.getLarge(BounceBuffer, GlobalAddr(Start), RegionSize,
-                         BounceTag);
-      Accel.Dma.waitTag(BounceTag);
+      dmaGetLarge(BounceBuffer, GlobalAddr(Start), RegionSize, BounceTag);
+      dmaWait(BounceTag);
       localWriteBytes(BounceBuffer +
                           static_cast<uint32_t>(Dst.Value - Start),
                       In, Chunk);
-      Accel.Dma.putLarge(GlobalAddr(Start), BounceBuffer, RegionSize,
-                         BounceTag);
-      Accel.Dma.waitTag(BounceTag);
+      dmaPutLarge(GlobalAddr(Start), BounceBuffer, RegionSize, BounceTag);
+      dmaWait(BounceTag);
     }
 
     In += Chunk;

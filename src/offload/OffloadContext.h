@@ -95,42 +95,52 @@ public:
 
   void dmaGet(sim::LocalAddr Dst, sim::GlobalAddr Src, uint32_t Size,
               unsigned Tag) {
+    dmaGate();
     Accel.Dma.get(Dst, Src, Size, Tag);
   }
   void dmaPut(sim::GlobalAddr Dst, sim::LocalAddr Src, uint32_t Size,
               unsigned Tag) {
+    dmaGate();
     Accel.Dma.put(Dst, Src, Size, Tag);
   }
   void dmaGetFenced(sim::LocalAddr Dst, sim::GlobalAddr Src, uint32_t Size,
                     unsigned Tag) {
+    dmaGate();
     Accel.Dma.getFenced(Dst, Src, Size, Tag);
   }
   void dmaPutFenced(sim::GlobalAddr Dst, sim::LocalAddr Src, uint32_t Size,
                     unsigned Tag) {
+    dmaGate();
     Accel.Dma.putFenced(Dst, Src, Size, Tag);
   }
   void dmaGetBarrier(sim::LocalAddr Dst, sim::GlobalAddr Src, uint32_t Size,
                      unsigned Tag) {
+    dmaGate();
     Accel.Dma.getBarrier(Dst, Src, Size, Tag);
   }
   void dmaPutBarrier(sim::GlobalAddr Dst, sim::LocalAddr Src, uint32_t Size,
                      unsigned Tag) {
+    dmaGate();
     Accel.Dma.putBarrier(Dst, Src, Size, Tag);
   }
   void dmaGetLarge(sim::LocalAddr Dst, sim::GlobalAddr Src, uint64_t Size,
                    unsigned Tag) {
+    dmaGate();
     Accel.Dma.getLarge(Dst, Src, Size, Tag);
   }
   void dmaPutLarge(sim::GlobalAddr Dst, sim::LocalAddr Src, uint64_t Size,
                    unsigned Tag) {
+    dmaGate();
     Accel.Dma.putLarge(Dst, Src, Size, Tag);
   }
   void dmaGetList(const sim::DmaEngine::ListElement *Elements,
                   unsigned Count, unsigned Tag) {
+    dmaGate();
     Accel.Dma.getList(Elements, Count, Tag);
   }
   void dmaPutList(const sim::DmaEngine::ListElement *Elements,
                   unsigned Count, unsigned Tag) {
+    dmaGate();
     Accel.Dma.putList(Elements, Count, Tag);
   }
   void dmaWait(unsigned Tag) { Accel.Dma.waitTag(Tag); }
@@ -202,6 +212,19 @@ private:
 
   void noteLocalAccess(sim::LocalAddr Addr, uint32_t Size, bool IsWrite);
 
+  /// Fault-injection gate taken once per DMA command issued through this
+  /// context. Null injector (the normal case) costs one pointer test.
+  void dmaGate() {
+    if (Faults)
+      retryRejectedCommands();
+  }
+
+  /// Spins on the injector's transient command-rejection verdicts,
+  /// paying re-issue plus exponential backoff in simulated cycles per
+  /// rejection. The injector bounds consecutive rejections, so this
+  /// terminates even at a 100% configured failure rate.
+  void retryRejectedCommands();
+
   /// Synchronous, uncached transfer of the 16-byte-aligned region
   /// enclosing [Addr, Addr+Size) through the bounce buffer.
   void directOuterRead(void *Dst, sim::GlobalAddr Src, uint32_t Size);
@@ -210,10 +233,77 @@ private:
   sim::Machine &M;
   sim::Accelerator &Accel;
   SoftwareCacheBase *BoundCache = nullptr;
+  sim::FaultInjector *Faults;       ///< Null unless injection is enabled.
   sim::LocalAddr BounceBuffer;      ///< Staging area for direct accesses.
   uint32_t BounceSize;
   unsigned BounceTag;               ///< Reserved tag for direct accesses.
 };
+
+/// Host-side stand-in for OffloadContext, used when a chunk of offloaded
+/// work must run on the host because no accelerator can take it (all
+/// dead, or the machine has none). It exposes the subset of the context
+/// API a machine-generic body can use: computation is charged to the
+/// host clock and outer accesses are plain cache-modelled host accesses
+/// (there is no local store to stage through).
+class HostContext {
+public:
+  explicit HostContext(sim::Machine &M) : M(M) {}
+
+  sim::Machine &machine() { return M; }
+  const sim::MachineConfig &config() const { return M.config(); }
+  sim::CycleClock &clock() { return M.hostClock(); }
+
+  void compute(uint64_t Cycles) { M.hostCompute(Cycles); }
+
+  template <typename T> T outerRead(sim::GlobalAddr Addr) {
+    return M.hostRead<T>(Addr);
+  }
+  template <typename T> void outerWrite(sim::GlobalAddr Addr,
+                                        const T &Value) {
+    M.hostWrite(Addr, Value);
+  }
+  void outerReadBytes(void *Dst, sim::GlobalAddr Src, uint32_t Size) {
+    M.hostReadBytes(Dst, Src, Size);
+  }
+  void outerWriteBytes(sim::GlobalAddr Dst, const void *Src,
+                       uint32_t Size) {
+    M.hostWriteBytes(Dst, Src, Size);
+  }
+
+private:
+  sim::Machine &M;
+};
+
+namespace detail {
+
+/// True when \p BodyFn can be invoked with a HostContext — i.e. it takes
+/// its context parameter as `auto &` (or HostContext &) and only uses
+/// the context surface HostContext provides.
+template <typename BodyFn>
+inline constexpr bool isHostRunnable =
+    std::is_invocable_v<BodyFn &, HostContext &, uint32_t, uint32_t>;
+
+/// Runs one [Begin, End) chunk of an offloaded body on the host. Bodies
+/// written against the generic context surface run directly; bodies
+/// hard-wired to OffloadContext cannot fall back, which is a fatal
+/// configuration error (there is nowhere left to run the work).
+template <typename BodyFn>
+void runChunkOnHost(sim::Machine &M, BodyFn &Body, uint32_t Begin,
+                    uint32_t End) {
+  if constexpr (isHostRunnable<BodyFn>) {
+    HostContext Ctx(M);
+    Body(Ctx, Begin, End);
+  } else {
+    (void)Body;
+    (void)Begin;
+    (void)End;
+    reportFatalError("offload: no accelerator available and the body is "
+                     "not host-invocable (take the context parameter as "
+                     "auto& to enable host fallback)");
+  }
+}
+
+} // namespace detail
 
 } // namespace omm::offload
 

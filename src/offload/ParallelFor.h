@@ -28,16 +28,46 @@
 
 namespace omm::offload {
 
+/// What parallelForRange had to do to complete the range. All-zero with
+/// Status == Ok means the fault-free static split ran as planned.
+struct ParallelForStats {
+  /// Launch attempts that failed (injected death, exhausted store, ...).
+  unsigned LaunchFaults = 0;
+  /// Slices that ran on a different accelerator than the static split
+  /// intended, because their home core was dead or refused the launch.
+  unsigned FailoverSlices = 0;
+  /// Slices that fell back to the host (no accelerator could take them).
+  unsigned HostSlices = 0;
+  /// Worst status observed when joining the launched blocks.
+  OffloadStatus Status = OffloadStatus::Ok;
+};
+
 /// Runs Body(Ctx, Begin, End) on up to \p MaxAccelerators accelerators,
 /// with [0, Count) split into contiguous sub-ranges, and joins them.
 /// Body must only touch outer state derived from its own sub-range.
+/// Slices whose home accelerator is dead or rejects the launch fail
+/// over to the next live core; if none will take a slice it runs on
+/// the host (requires a host-invocable body — take the context as
+/// auto&). The slice boundaries never change, so results match the
+/// fault-free run bit for bit.
 template <typename BodyFn>
-void parallelForRange(sim::Machine &M, uint32_t Count, BodyFn &&Body,
-                      unsigned MaxAccelerators = ~0u) {
+ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
+                                  BodyFn &&Body,
+                                  unsigned MaxAccelerators = ~0u) {
+  ParallelForStats Stats;
   if (Count == 0)
-    return;
-  unsigned Workers =
-      std::min({M.numAccelerators(), MaxAccelerators, Count});
+    return Stats;
+  unsigned NumAccels = M.numAccelerators();
+  unsigned Workers = std::min({NumAccels, MaxAccelerators, Count});
+  if (Workers == 0) {
+    // No accelerator budget at all: the whole range is one host slice.
+    ++Stats.HostSlices;
+    ++M.hostCounters().HostFallbackChunks;
+    M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
+                 /*BlockId=*/0, M.hostClock().now(), /*Detail=*/0});
+    detail::runChunkOnHost(M, Body, 0, Count);
+    return Stats;
+  }
   uint32_t PerWorker = Count / Workers;
   uint32_t Remainder = Count % Workers;
 
@@ -46,12 +76,41 @@ void parallelForRange(sim::Machine &M, uint32_t Count, BodyFn &&Body,
   for (unsigned W = 0; W != Workers; ++W) {
     uint32_t Len = PerWorker + (W < Remainder ? 1 : 0);
     uint32_t End = Begin + Len;
-    Group.launchOn(M, W, [&Body, Begin, End](OffloadContext &Ctx) {
-      Body(Ctx, Begin, End);
-    });
+    // Try the slice's home accelerator first, then rotate through the
+    // rest; at most one launch attempt per core bounds the loop.
+    bool Launched = false, Retried = false;
+    for (unsigned Try = 0; Try != NumAccels; ++Try) {
+      unsigned A = (W + Try) % NumAccels;
+      if (!M.accel(A).Alive) {
+        Retried = true;
+        continue;
+      }
+      OffloadStatus St =
+          Group.launchOn(M, A, [&Body, Begin, End](OffloadContext &Ctx) {
+            Body(Ctx, Begin, End);
+          });
+      if (St == OffloadStatus::Ok) {
+        if (Retried) {
+          ++Stats.FailoverSlices;
+          ++M.hostCounters().FailoverChunks;
+        }
+        Launched = true;
+        break;
+      }
+      ++Stats.LaunchFaults;
+      Retried = true;
+    }
+    if (!Launched) {
+      ++Stats.HostSlices;
+      ++M.hostCounters().HostFallbackChunks;
+      M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
+                   /*BlockId=*/0, M.hostClock().now(), Begin});
+      detail::runChunkOnHost(M, Body, Begin, End);
+    }
     Begin = End;
   }
-  Group.joinAll(M);
+  Stats.Status = Group.joinAll(M);
+  return Stats;
 }
 
 /// Data-parallel in-place transform of an outer array: each
@@ -60,11 +119,12 @@ void parallelForRange(sim::Machine &M, uint32_t Count, BodyFn &&Body,
 /// PerElement is invoked as PerElement(Ctx, GlobalIndex, Value&) so it
 /// can charge its computation cost.
 template <typename T, typename ElemFn>
-void parallelTransform(sim::Machine &M, OuterPtr<T> Base, uint32_t Count,
-                       uint32_t ChunkElems, ElemFn &&PerElement,
-                       unsigned MaxAccelerators = ~0u) {
+ParallelForStats parallelTransform(sim::Machine &M, OuterPtr<T> Base,
+                                   uint32_t Count, uint32_t ChunkElems,
+                                   ElemFn &&PerElement,
+                                   unsigned MaxAccelerators = ~0u) {
   if (Count == 0)
-    return;
+    return {};
   // Slice boundaries must fall on DMA-alignment boundaries: group
   // elements so every slice start is 16-byte aligned relative to Base.
   constexpr uint32_t Group =
@@ -72,7 +132,7 @@ void parallelTransform(sim::Machine &M, OuterPtr<T> Base, uint32_t Count,
   static_assert(Group * sizeof(T) % 16 == 0, "grouping arithmetic");
   uint32_t NumGroups = static_cast<uint32_t>(divideCeil(Count, Group));
 
-  parallelForRange(
+  return parallelForRange(
       M, NumGroups,
       [&](OffloadContext &Ctx, uint32_t GroupBegin, uint32_t GroupEnd) {
         uint32_t Begin = GroupBegin * Group;

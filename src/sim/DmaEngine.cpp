@@ -8,6 +8,7 @@
 #include "sim/DmaEngine.h"
 
 #include "sim/CycleClock.h"
+#include "sim/FaultInjector.h"
 #include "sim/LocalStore.h"
 #include "sim/MainMemory.h"
 #include "sim/PerfCounters.h"
@@ -42,6 +43,21 @@ void DmaEngine::validate(LocalAddr Local, GlobalAddr Global, uint32_t Size,
     reportFatalError("dma: local address out of local store bounds");
   if (!Main.contains(Global, Size))
     reportFatalError("dma: global address out of main memory bounds");
+}
+
+uint64_t DmaEngine::injectTransferDelay(uint64_t IssuedAt) {
+  uint64_t Extra = Injector->transferDelay(AccelId);
+  if (Extra == 0)
+    return 0;
+  // The delay lengthens this transfer's completion only; the data
+  // channel frees on schedule (the slowdown is downstream of the
+  // engine), so independent transfers still pipeline.
+  ++Counters.DmaDelayedTransfers;
+  Counters.DmaInjectedDelayCycles += Extra;
+  if (Observer)
+    Observer->onFault({FaultKind::DmaCompletionDelayed, AccelId,
+                       /*BlockId=*/0, IssuedAt, Extra});
+  return Extra;
 }
 
 void DmaEngine::issue(DmaDir Dir, LocalAddr Local, GlobalAddr Global,
@@ -83,6 +99,8 @@ void DmaEngine::issue(DmaDir Dir, LocalAddr Local, GlobalAddr Global,
                             : divideCeil(Size, Config.DmaBytesPerCycle);
   uint64_t Complete = Start + Config.DmaLatencyCycles + DataCycles;
   ChannelFreeAt = Start + DataCycles;
+  if (Injector)
+    Complete += injectTransferDelay(Now);
 
   DmaTransfer Transfer;
   Transfer.Id = NextId++;
@@ -221,6 +239,8 @@ void DmaEngine::issueList(DmaDir Dir, const ListElement *Elements,
                             : divideCeil(TotalBytes, Config.DmaBytesPerCycle);
   uint64_t Complete = Start + Config.DmaLatencyCycles + DataCycles;
   ChannelFreeAt = Start + DataCycles;
+  if (Injector)
+    Complete += injectTransferDelay(Now); // One command, one draw.
 
   for (unsigned I = 0; I != Count; ++I) {
     const ListElement &E = Elements[I];

@@ -38,6 +38,7 @@
 namespace omm::sim {
 
 class CycleClock;
+class FaultInjector;
 class LocalStore;
 class MainMemory;
 struct PerfCounters;
@@ -109,6 +110,11 @@ public:
 
   void setObserver(DmaObserver *Obs) { Observer = Obs; }
 
+  /// Attaches the machine's fault injector, which may push individual
+  /// transfer completions out (delayed-completion faults). Null (the
+  /// default) costs one test per issued command.
+  void setFaultInjector(FaultInjector *FI) { Injector = FI; }
+
 private:
   enum class Ordering { None, Fence, Barrier };
   void issue(DmaDir Dir, LocalAddr Local, GlobalAddr Global, uint32_t Size,
@@ -118,6 +124,7 @@ private:
   void validate(LocalAddr Local, GlobalAddr Global, uint32_t Size,
                 unsigned Tag) const;
   uint64_t maxCompletionAll() const;
+  uint64_t injectTransferDelay(uint64_t IssuedAt);
 
   unsigned AccelId;
   const MachineConfig &Config;
@@ -126,6 +133,7 @@ private:
   CycleClock &Clock;
   PerfCounters &Counters;
   DmaObserver *Observer = nullptr;
+  FaultInjector *Injector = nullptr;
 
   std::vector<DmaTransfer> Pending;
   uint64_t ChannelFreeAt = 0;

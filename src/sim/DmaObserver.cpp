@@ -16,6 +16,28 @@ using namespace omm::sim;
 
 DmaObserver::~DmaObserver() = default;
 
+const char *sim::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::AcceleratorDeath:
+    return "accelerator_death";
+  case FaultKind::LaunchOnDeadAccelerator:
+    return "launch_on_dead_accelerator";
+  case FaultKind::NoAcceleratorAvailable:
+    return "no_accelerator_available";
+  case FaultKind::LocalStoreExhausted:
+    return "local_store_exhausted";
+  case FaultKind::DmaCommandRejected:
+    return "dma_command_rejected";
+  case FaultKind::DmaCompletionDelayed:
+    return "dma_completion_delayed";
+  case FaultKind::ChunkRequeued:
+    return "chunk_requeued";
+  case FaultKind::HostFallback:
+    return "host_fallback";
+  }
+  return "unknown_fault";
+}
+
 void ObserverMux::add(DmaObserver *Obs) {
   if (!Obs)
     reportFatalError("observer: attaching a null observer");
@@ -62,4 +84,9 @@ void ObserverMux::onBlockEnd(unsigned AccelId, uint64_t BlockId,
                              uint64_t Cycle) {
   for (DmaObserver *Obs : Observers)
     Obs->onBlockEnd(AccelId, BlockId, Cycle);
+}
+
+void ObserverMux::onFault(const FaultEvent &Event) {
+  for (DmaObserver *Obs : Observers)
+    Obs->onFault(Event);
 }

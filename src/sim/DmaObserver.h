@@ -58,6 +58,38 @@ struct DmaTransfer {
                              ///< place (what dma_wait waits for).
 };
 
+/// Kinds of injected or observed machine faults (FaultInjector.h) as
+/// reported to observers; the trace layer renders these as instant
+/// events so a degraded frame's recovery is visible on the timeline.
+enum class FaultKind : uint8_t {
+  AcceleratorDeath,       ///< A core died and is lost for good.
+  LaunchOnDeadAccelerator,///< A launch targeted an already-dead core.
+  NoAcceleratorAvailable, ///< Auto-pick found no live core.
+  LocalStoreExhausted,    ///< A launch could not reserve its arena.
+  DmaCommandRejected,     ///< Transient MFC rejection (runtime retries).
+  DmaCompletionDelayed,   ///< A transfer's completion was pushed out.
+  ChunkRequeued,          ///< A dead worker's chunk moved to a survivor.
+  HostFallback,           ///< Work ran on the host; no core could.
+};
+
+/// \returns a stable lower-case name for \p Kind (trace/report output).
+const char *faultKindName(FaultKind Kind);
+
+/// One fault as reported to observers.
+struct FaultEvent {
+  FaultKind Kind = FaultKind::AcceleratorDeath;
+  /// Core involved, or ~0u when none is (host fallback, empty pick).
+  unsigned AccelId = 0;
+  /// Offload block being launched or running, or 0 outside any block.
+  uint64_t BlockId = 0;
+  /// Simulated cycle of the fault (core clock for core-side faults,
+  /// host clock for launch/fallback decisions).
+  uint64_t Cycle = 0;
+  /// Kind-specific payload: injected delay or backoff cycles for the
+  /// DMA kinds, the chunk's begin index for requeue/fallback kinds.
+  uint64_t Detail = 0;
+};
+
 /// Callbacks fired by the machine as traffic happens. All default to
 /// no-ops so observers override only what they need.
 class DmaObserver {
@@ -119,6 +151,11 @@ public:
     (void)BlockId;
     (void)Cycle;
   }
+
+  /// A fault was injected or a recovery action taken. Like every other
+  /// callback this is purely informational; the cost of the fault has
+  /// already been charged by the machine or the offload runtime.
+  virtual void onFault(const FaultEvent &Event) { (void)Event; }
 };
 
 /// Fans every callback out to a list of observers, in registration
@@ -150,6 +187,7 @@ public:
   void onBlockBegin(unsigned AccelId, uint64_t BlockId,
                     uint64_t LaunchCycle) override;
   void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
+  void onFault(const FaultEvent &Event) override;
 
 private:
   std::vector<DmaObserver *> Observers;

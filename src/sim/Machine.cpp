@@ -34,20 +34,52 @@ void PerfCounters::print(OStream &OS) const {
   Row("host stores", HostStores);
   Row("compute cycles", ComputeCycles);
   Row("join stall cycles", JoinStallCycles);
+  Row("dma retries", DmaRetries);
+  Row("dma retry stall cycles", DmaRetryStallCycles);
+  Row("dma delayed transfers", DmaDelayedTransfers);
+  Row("dma injected delay cycles", DmaInjectedDelayCycles);
+  Row("launch faults", LaunchFaults);
+  Row("accelerators lost", AcceleratorsLost);
+  Row("failover chunks", FailoverChunks);
+  Row("host fallback chunks", HostFallbackChunks);
 }
 
 Machine::Machine(const MachineConfig &Config)
     : Cfg(Config), Main(Config.MainMemorySize) {
-  assert(Config.NumAccelerators >= 1 && "machine needs an accelerator");
+  // NumAccelerators == 0 is legal: it models a host-only machine, and
+  // the offload runtime's host-fallback paths must cope (JobQueue.h).
   assert(Config.NumDmaTags <= 32 && "tag masks are 32 bits wide");
-  for (unsigned I = 0; I != Config.NumAccelerators; ++I)
+  if (Cfg.Faults.Enabled)
+    Faults = std::make_unique<FaultInjector>(Cfg.Faults,
+                                             Config.NumAccelerators);
+  for (unsigned I = 0; I != Config.NumAccelerators; ++I) {
     Accels.push_back(std::make_unique<Accelerator>(I, Cfg, Main));
+    if (Faults)
+      Accels.back()->Dma.setFaultInjector(Faults.get());
+  }
 }
 
 Accelerator &Machine::accel(unsigned Id) {
   if (Id >= Accels.size())
     reportFatalError("machine: accelerator id out of range");
   return *Accels[Id];
+}
+
+unsigned Machine::numAliveAccelerators() const {
+  unsigned Alive = 0;
+  for (const auto &Accel : Accels)
+    Alive += Accel->Alive ? 1 : 0;
+  return Alive;
+}
+
+void Machine::killAccelerator(unsigned Id, uint64_t BlockId) {
+  Accelerator &Accel = accel(Id);
+  if (!Accel.Alive)
+    return;
+  Accel.Alive = false;
+  ++Accel.Counters.AcceleratorsLost;
+  emitFault({FaultKind::AcceleratorDeath, Id, BlockId, Accel.Clock.now(),
+             /*Detail=*/0});
 }
 
 void Machine::addObserver(DmaObserver *Obs) {

@@ -24,6 +24,7 @@
 
 #include "sim/CycleClock.h"
 #include "sim/DmaEngine.h"
+#include "sim/FaultInjector.h"
 #include "sim/LocalStore.h"
 #include "sim/MachineConfig.h"
 #include "sim/MainMemory.h"
@@ -54,6 +55,9 @@ public:
   PerfCounters Counters;
   DmaEngine Dma;
   uint64_t FreeAt = 0;
+  /// False once the core has died (fault injection or an explicit
+  /// Machine::killAccelerator); dead cores accept no further launches.
+  bool Alive = true;
 };
 
 /// The complete simulated machine.
@@ -72,6 +76,25 @@ public:
     return static_cast<unsigned>(Accels.size());
   }
   Accelerator &accel(unsigned Id);
+
+  /// \returns how many accelerators are still alive.
+  unsigned numAliveAccelerators() const;
+
+  /// Marks \p Id dead (no further launches are accepted) and reports the
+  /// death to the observers. Idempotent. \p BlockId names the block the
+  /// core died in, or 0 outside any block.
+  void killAccelerator(unsigned Id, uint64_t BlockId = 0);
+
+  /// \returns the fault injector, or nullptr when fault injection is
+  /// disabled (the common case: event sites pay one null test, the same
+  /// discipline as observer()).
+  FaultInjector *faults() { return Faults.get(); }
+
+  /// Reports \p Event to the observers, if any are attached.
+  void emitFault(const FaultEvent &Event) {
+    if (DmaObserver *Obs = observer())
+      Obs->onFault(Event);
+  }
 
   CycleClock &hostClock() { return HostClock; }
   PerfCounters &hostCounters() { return HostCounters; }
@@ -140,6 +163,7 @@ private:
   CycleClock HostClock;
   PerfCounters HostCounters;
   ObserverMux Observers;
+  std::unique_ptr<FaultInjector> Faults; ///< Null unless Faults.Enabled.
   uint64_t NextBlockId = 1;
 };
 

@@ -23,6 +23,57 @@
 
 namespace omm::sim {
 
+/// Knobs of the seeded fault-injection subsystem (FaultInjector.h).
+/// Disabled by default; a disabled injector is never constructed, so the
+/// fault-free machine pays nothing (the ObserverMux null-fast-path
+/// discipline). All rates are per-event probabilities in [0, 1] drawn
+/// from per-accelerator SplitMix64 streams, so a given (Seed, rates)
+/// pair replays the exact same fault schedule cycle for cycle.
+struct FaultInjectionConfig {
+  /// Master switch; when false the machine owns no injector at all.
+  bool Enabled = false;
+
+  /// Seed of the deterministic fault schedule.
+  uint64_t Seed = 0;
+
+  /// Probability that an accelerator dies starting an offload launch
+  /// (it burns up to KillWastedCyclesMax cycles, then is lost for the
+  /// rest of the simulation).
+  float AccelDeathRate = 0.0f;
+
+  /// Probability that the MFC transiently rejects a DMA command; the
+  /// offload runtime retries with bounded backoff (never fatal).
+  float DmaFailRate = 0.0f;
+
+  /// Probability that one transfer's completion is pushed out by
+  /// DmaDelayCycles (a congested or degraded link).
+  float DmaDelayRate = 0.0f;
+
+  /// Probability that a launch fails because the accelerator cannot
+  /// reserve its block arena (local-store exhaustion). The core
+  /// survives; the launch must be retried or re-routed.
+  float LocalStoreFailRate = 0.0f;
+
+  /// Extra completion latency of one delayed transfer, in cycles.
+  uint64_t DmaDelayCycles = 400;
+
+  /// Consecutive rejections of one accelerator's DMA commands are
+  /// capped here, bounding the runtime's retry loop by construction.
+  unsigned MaxDmaRetries = 6;
+
+  /// Initial retry backoff after a rejected DMA command; doubles per
+  /// consecutive rejection.
+  uint64_t DmaRetryBackoffCycles = 64;
+
+  /// Host cycles between a faulted launch and the host observing the
+  /// failure (the runtime watchdog's round trip).
+  uint64_t FaultDetectCycles = 400;
+
+  /// A dying accelerator wastes a uniform [0, max] cycles of work
+  /// before the fault detector declares it lost.
+  uint64_t KillWastedCyclesMax = 2000;
+};
+
 /// Architectural parameters of the simulated heterogeneous machine.
 struct MachineConfig {
   /// Number of accelerator (SPE-like) cores. A PS3 game has 6 usable SPEs.
@@ -85,6 +136,9 @@ struct MachineConfig {
   /// DMA degenerates to a cheap copy. Used as the paper's "traditional
   /// memory architecture" baseline.
   bool CacheCoherentSharedMemory = false;
+
+  /// Deterministic fault injection (off by default).
+  FaultInjectionConfig Faults;
 
   /// A Cell BE-like configuration (the paper's PlayStation 3 target).
   static MachineConfig cellLike() { return MachineConfig(); }

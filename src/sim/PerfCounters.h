@@ -38,6 +38,14 @@ struct PerfCounters {
   uint64_t HostStores = 0;
   uint64_t ComputeCycles = 0; ///< Explicitly charged computation.
   uint64_t JoinStallCycles = 0; ///< Host cycles blocked in offload joins.
+  uint64_t DmaRetries = 0; ///< Transient DMA rejections retried.
+  uint64_t DmaRetryStallCycles = 0; ///< Core cycles in retry backoff.
+  uint64_t DmaDelayedTransfers = 0; ///< Transfers with injected latency.
+  uint64_t DmaInjectedDelayCycles = 0; ///< Injected latency total.
+  uint64_t LaunchFaults = 0; ///< Offload launches that failed.
+  uint64_t AcceleratorsLost = 0; ///< Cores that died.
+  uint64_t FailoverChunks = 0; ///< Chunks/slices re-run on another core.
+  uint64_t HostFallbackChunks = 0; ///< Chunks/slices the host ran instead.
 
   /// \returns total DMA transfers issued.
   uint64_t dmaTransfers() const { return DmaGetsIssued + DmaPutsIssued; }
@@ -59,6 +67,14 @@ struct PerfCounters {
     HostStores += Other.HostStores;
     ComputeCycles += Other.ComputeCycles;
     JoinStallCycles += Other.JoinStallCycles;
+    DmaRetries += Other.DmaRetries;
+    DmaRetryStallCycles += Other.DmaRetryStallCycles;
+    DmaDelayedTransfers += Other.DmaDelayedTransfers;
+    DmaInjectedDelayCycles += Other.DmaInjectedDelayCycles;
+    LaunchFaults += Other.LaunchFaults;
+    AcceleratorsLost += Other.AcceleratorsLost;
+    FailoverChunks += Other.FailoverChunks;
+    HostFallbackChunks += Other.HostFallbackChunks;
   }
 
   /// Prints the counters as a small table.

@@ -152,6 +152,19 @@ void emitTransfers(EventSink &Sink, const TraceRecorder &Rec) {
   }
 }
 
+void emitFaults(EventSink &Sink, const TraceRecorder &Rec) {
+  for (const FaultEvent &F : Rec.faults()) {
+    // Instant events on the afflicted core's track; host-side recovery
+    // actions (host fallback, auto-pick failure) land on the host track.
+    int Tid = F.AccelId == ~0u ? HostTid : accelTid(F.AccelId);
+    std::string S =
+        commonFields(faultKindName(F.Kind), "fault", 'i', Tid, F.Cycle);
+    S += ",\"s\":\"t\",\"args\":{\"block\":" + std::to_string(F.BlockId);
+    S += ",\"detail\":" + std::to_string(F.Detail) + "}";
+    Sink.event(S);
+  }
+}
+
 } // namespace
 
 void trace::writeChromeTrace(OStream &OS, const TraceRecorder &Rec,
@@ -162,6 +175,7 @@ void trace::writeChromeTrace(OStream &OS, const TraceRecorder &Rec,
   EventSink Sink(OS);
   emitMetadata(Sink, Rec);
   emitBlocks(Sink, Rec, Opts);
+  emitFaults(Sink, Rec);
   if (Opts.WaitSpans)
     emitWaits(Sink, Rec);
   if (Opts.DmaEvents)

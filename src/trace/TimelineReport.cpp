@@ -116,7 +116,28 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
     OS.paddedInt(Peak, 7);
     OS << '\n';
   }
-  OS << "\nhost direct accesses seen: " << Rec.hostAccesses() << "\n\n";
+  OS << "\nhost direct accesses seen: " << Rec.hostAccesses() << "\n";
+
+  if (!Rec.faults().empty()) {
+    // Count per kind, printed in FaultKind order so the line is stable.
+    constexpr unsigned NumKinds =
+        static_cast<unsigned>(FaultKind::HostFallback) + 1;
+    uint64_t Counts[NumKinds] = {};
+    for (const FaultEvent &F : Rec.faults())
+      ++Counts[static_cast<unsigned>(F.Kind)];
+    OS << "faults seen: " << Rec.faults().size() << " (";
+    bool First = true;
+    for (unsigned K = 0; K != NumKinds; ++K) {
+      if (Counts[K] == 0)
+        continue;
+      if (!First)
+        OS << ", ";
+      OS << faultKindName(static_cast<FaultKind>(K)) << " x" << Counts[K];
+      First = false;
+    }
+    OS << ")\n";
+  }
+  OS << "\n";
 
   OS << "occupancy over [" << W.Begin << ", " << W.End
      << ") cycles ('#' block, '~' dma_wait stall, '.' idle):\n";

@@ -53,6 +53,7 @@ void TraceRecorder::clear() {
   Blocks.clear();
   Waits.clear();
   Transfers.clear();
+  FaultEvents.clear();
   std::fill(Accels.begin(), Accels.end(), AccelState());
   HostAccesses = 0;
   LastCycle = 0;
@@ -128,6 +129,11 @@ void TraceRecorder::onBlockBegin(unsigned AccelId, uint64_t BlockId,
   Span.EndCycle = LaunchCycle;
   S.OpenSpan = static_cast<int>(Blocks.size());
   Blocks.push_back(Span);
+}
+
+void TraceRecorder::onFault(const FaultEvent &Event) {
+  note(Event.Cycle);
+  FaultEvents.push_back(Event);
 }
 
 void TraceRecorder::onBlockEnd(unsigned AccelId, uint64_t BlockId,

@@ -81,6 +81,10 @@ public:
     return Transfers;
   }
 
+  /// Fault events (injected faults and the runtime's recovery actions)
+  /// seen while recording, in emission order.
+  const std::vector<sim::FaultEvent> &faults() const { return FaultEvents; }
+
   /// Host-side direct main-memory touches seen while recording.
   uint64_t hostAccesses() const { return HostAccesses; }
 
@@ -110,6 +114,7 @@ public:
   void onBlockBegin(unsigned AccelId, uint64_t BlockId,
                     uint64_t LaunchCycle) override;
   void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
+  void onFault(const sim::FaultEvent &Event) override;
 
 private:
   /// Per-accelerator attribution state.
@@ -127,6 +132,7 @@ private:
   std::vector<OffloadSpan> Blocks;
   std::vector<WaitSpan> Waits;
   std::vector<sim::DmaTransfer> Transfers;
+  std::vector<sim::FaultEvent> FaultEvents;
   std::vector<AccelState> Accels;
   uint64_t HostAccesses = 0;
   uint64_t LastCycle = 0;

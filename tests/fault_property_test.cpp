@@ -1,0 +1,106 @@
+//===- tests/fault_property_test.cpp - Recovery correctness property -------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// The recovery contract as a property over seeded fault schedules: for
+// ANY (seed, rates) pair, frames computed under fault injection are
+// bit-identical to fault-free frames, and replaying the same schedule
+// reproduces the same cycle counts. Each TEST_P instance drives the full
+// stack (GameWorld parallel-AI frames: DMA streaming, software caches,
+// offload groups) through a different randomly-derived fault mix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "game/GameWorld.h"
+
+#include "sim/FaultInjector.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace omm;
+using namespace omm::game;
+using namespace omm::sim;
+
+namespace {
+
+constexpr int NumFrames = 3;
+
+GameWorldParams worldParams() {
+  GameWorldParams P;
+  P.NumEntities = 200;
+  return P;
+}
+
+/// Derives a fault mix from \p Seed — every property instance exercises
+/// a different blend of deaths, rejections and delays.
+FaultInjectionConfig faultsFor(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  FaultInjectionConfig F;
+  F.Enabled = true;
+  F.Seed = Rng.next();
+  F.AccelDeathRate = Rng.nextFloat() * 0.15f;
+  F.DmaFailRate = Rng.nextFloat() * 0.3f;
+  F.DmaDelayRate = Rng.nextFloat() * 0.3f;
+  F.DmaDelayCycles = 100 + Rng.nextBelow(2000);
+  return F;
+}
+
+struct RunResult {
+  uint64_t Checksum = 0;
+  uint64_t HostCycles = 0;
+  uint64_t LaunchFaults = 0;
+  uint64_t AcceleratorsLost = 0;
+};
+
+RunResult runFrames(const MachineConfig &Cfg) {
+  Machine M(Cfg);
+  GameWorld World(M, worldParams());
+  for (int F = 0; F != NumFrames; ++F)
+    World.doFrameOffloadAiParallel();
+  RunResult R;
+  R.Checksum = World.checksum();
+  R.HostCycles = M.hostClock().now();
+  R.LaunchFaults = M.hostCounters().LaunchFaults;
+  for (unsigned I = 0; I != M.numAccelerators(); ++I)
+    R.AcceleratorsLost += M.accel(I).Counters.AcceleratorsLost;
+  return R;
+}
+
+} // namespace
+
+class FaultRecoveryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultRecoveryProperty, InjectedFramesMatchFaultFreeBitForBit) {
+  MachineConfig Clean = MachineConfig::cellLike();
+  MachineConfig Faulty = MachineConfig::cellLike();
+  Faulty.Faults = faultsFor(GetParam());
+
+  RunResult Reference = runFrames(Clean);
+  RunResult Injected = runFrames(Faulty);
+
+  // Recovery must never change what was computed — only when.
+  EXPECT_EQ(Injected.Checksum, Reference.Checksum)
+      << "seed " << GetParam();
+
+  // Faults cost time, never save it.
+  EXPECT_GE(Injected.HostCycles, Reference.HostCycles);
+}
+
+TEST_P(FaultRecoveryProperty, SameScheduleReplaysCycleForCycle) {
+  MachineConfig Faulty = MachineConfig::cellLike();
+  Faulty.Faults = faultsFor(GetParam());
+
+  RunResult First = runFrames(Faulty);
+  RunResult Second = runFrames(Faulty);
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
+  EXPECT_EQ(First.LaunchFaults, Second.LaunchFaults);
+  EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultRecoveryProperty,
+                         ::testing::Range<uint64_t>(1, 17));

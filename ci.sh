@@ -6,11 +6,14 @@
 #
 # Usage: ./ci.sh [jobs]
 #
-# Three stages, all must be green:
+# Four stages, all must be green:
 #   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts
 #                    on), everything except the `soak` label
-#   2. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
-#   3. soak        — the long randomised fault-injection endurance runs,
+#   2. bench smoke — a tiny E10 run: the bench aborts on any checksum
+#                    divergence, and bench_summary.py asserts the JSON
+#                    parses and the finest-chunk speedup holds
+#   3. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
+#   4. soak        — the long randomised fault-injection endurance runs,
 #                    under the sanitizer build where their randomly
 #                    killed workers are most likely to expose leaks
 #
@@ -25,6 +28,16 @@ echo "=== tier-1: configure + build + ctest ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 ctest --test-dir build -LE soak --output-on-failure -j "$JOBS"
+
+echo "=== bench smoke: persistent workers (E10) ==="
+( cd build/bench && ./bench_e10_persistent_workers \
+      --json=BENCH_e10_smoke.json \
+      --benchmark_filter='chunk_elems:1/|KilledWorkers' )
+python3 tools/bench_summary.py build/bench/BENCH_e10_smoke.json \
+    --baseline BENCH_baseline --counters speedup_vs_launch,requeued
+python3 tools/bench_summary.py build/bench/BENCH_e10_smoke.json \
+    --filter 'PersistentWorkers/chunk_elems:1/' \
+    --require speedup_vs_launch '>=' 2.0
 
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON

@@ -8,8 +8,11 @@
 #include "game/GameWorld.h"
 
 #include "offload/DoubleBuffer.h"
+#include "offload/JobQueue.h"
 #include "offload/Offload.h"
 #include "offload/SetAssociativeCache.h"
+
+#include <type_traits>
 
 using namespace omm;
 using namespace omm::game;
@@ -219,6 +222,49 @@ FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
   Stats.CollisionCycles = M.hostClock().now() - Start;
 
   Group.joinAll(M);
+  updateAndRender(Stats);
+
+  ++Frame;
+  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  return Stats;
+}
+
+FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
+  FrameStats Stats;
+  uint64_t FrameStart = M.hostClock().now();
+
+  buildTargetSnapshot();
+
+  // The AI pass as a dynamic queue over the resident workers: chunks
+  // start at a few descriptors per worker and shrink toward
+  // AiChunkElems as the queue drains. The join is inside distributeJobs
+  // (the host paces the mailboxes), so unlike the block schedules the
+  // collision pass does not overlap the AI — what this schedule buys is
+  // launch amortization and balance, measured by experiment E10.
+  offload::JobQueueOptions Opts;
+  Opts.ChunkSize = Params.AiChunkElems;
+  Opts.MaxWorkers = MaxAccelerators;
+  Opts.Adaptive = true;
+  offload::JobRunStats Run = offload::distributeJobs(
+      M, Entities.size(), Opts,
+      [&](auto &Ctx, uint32_t Begin, uint32_t End) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(Ctx)>,
+                                     offload::OffloadContext>)
+          aiPassOffload(Ctx, Begin, End);
+        else
+          aiPassHost(Begin, End);
+      });
+  Stats.AiCycles = M.hostClock().now() - FrameStart;
+  Stats.FailedBlocks = Run.FailedLaunches;
+  Stats.FailoverSlices = Run.RequeuedChunks;
+  Stats.HostFallbackSlices = Run.HostChunks;
+  Stats.AiDescriptors = static_cast<uint32_t>(Run.DescriptorsDispatched);
+  Stats.AiLaunchesSaved = Run.LaunchesSaved;
+
+  uint64_t Start = M.hostClock().now();
+  collisionPassHost(Stats);
+  Stats.CollisionCycles = M.hostClock().now() - Start;
+
   updateAndRender(Stats);
 
   ++Frame;

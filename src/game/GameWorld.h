@@ -68,6 +68,10 @@ struct FrameStats {
   uint32_t FailedBlocks = 0;       ///< AI launches that faulted.
   uint32_t FailoverSlices = 0;     ///< AI slices re-homed to another core.
   uint32_t HostFallbackSlices = 0; ///< AI slices the host ran itself.
+  /// Mailbox dispatch of the resident-worker schedule (zero for the
+  /// launch-per-block schedules).
+  uint32_t AiDescriptors = 0;   ///< Work descriptors the AI pass used.
+  uint64_t AiLaunchesSaved = 0; ///< Launches the mailboxes amortized away.
 };
 
 /// The game world: entities, poses, and the fixed frame schedule.
@@ -97,6 +101,15 @@ public:
   /// entity slice with its own target cache). Bit-identical state, with
   /// the same per-slice failover as parallelForRange.
   FrameStats doFrameOffloadAiParallel(unsigned MaxAccelerators = ~0u);
+
+  /// The persistent-worker schedule: the AI pass runs as adaptively
+  /// sized chunks dispatched through resident workers' mailboxes
+  /// (offload/JobQueue.h) instead of one block per accelerator — many
+  /// chunks, one launch per core. World state is bit-identical to every
+  /// other schedule, including under injected faults (a dying worker's
+  /// mailbox drains back to the queue); FrameStats records the dispatch
+  /// and recovery work.
+  FrameStats doFrameOffloadAiResident(unsigned MaxAccelerators = ~0u);
 
   /// Bit-exact world state checksum (entities + poses).
   uint64_t checksum() const;

@@ -8,19 +8,25 @@
 /// \file
 /// Dynamic chunked work distribution across the accelerators — the
 /// job-queue style production Cell engines used when per-item costs are
-/// skewed and a static split (ParallelFor.h) leaves cores idle. Worker
-/// contexts are opened on every accelerator for the duration of the
-/// run; each chunk of indices is handed to the worker whose simulated
-/// clock is lowest, which is exactly what a hardware work-stealing queue
-/// converges to, and is deterministic here.
+/// skewed and a static split (ParallelFor.h) leaves cores idle. The
+/// queue runs on the persistent-worker runtime (ResidentWorker.h): one
+/// resident worker is launched per usable accelerator for the duration
+/// of the run, and every chunk after that is a work descriptor pushed
+/// through the worker's mailbox — a doorbell write on the host and a
+/// descriptor fetch on the core, two orders of magnitude cheaper than a
+/// fresh launch. Each descriptor goes to the worker whose simulated
+/// clock is lowest (ties to the least-fed worker, then the lowest id),
+/// which is exactly what a hardware work-stealing queue converges to,
+/// and is deterministic here.
 ///
 /// The queue is fault-tolerant: a worker that dies (fault injection, or
-/// an accelerator that was already dead) has its chunk re-queued onto
-/// the surviving workers, and when no worker is left — including the
-/// degenerate machines with zero accelerators or MaxWorkers == 0 — the
-/// remaining chunks run on the host. Workers die at chunk boundaries
-/// (after popping, before the body runs), so every chunk executes
-/// exactly once and results are bit-identical to a fault-free run.
+/// an accelerator that was already dead) has its popped descriptor and
+/// its mailbox backlog re-queued onto the surviving workers, and when
+/// no worker is left — including the degenerate machines with zero
+/// accelerators or MaxWorkers == 0 — the remaining chunks run on the
+/// host. Workers die at descriptor boundaries (after popping, before
+/// the body runs), so every chunk executes exactly once and results are
+/// bit-identical to a fault-free run.
 ///
 /// Use parallelForRange for uniform work (lower overhead, contiguous
 /// slices); use distributeJobs when items vary wildly (e.g. collision
@@ -33,12 +39,29 @@
 
 #include "offload/Offload.h"
 #include "offload/OffloadContext.h"
+#include "offload/ResidentWorker.h"
 
 #include <algorithm>
-#include <memory>
 #include <vector>
 
 namespace omm::offload {
+
+/// Tuning knobs for distributeJobs.
+struct JobQueueOptions {
+  /// Smallest chunk of indices per descriptor (floor for the adaptive
+  /// policy; the fixed size otherwise). 0 is promoted to 1.
+  uint32_t ChunkSize = 16;
+  /// Accelerator budget; the pool opens min(numAccelerators, MaxWorkers)
+  /// resident workers.
+  unsigned MaxWorkers = ~0u;
+  /// Guided self-scheduling: start with coarse chunks while the queue is
+  /// long (cutting mailbox traffic) and shrink toward ChunkSize as it
+  /// drains (keeping the tail balanced).
+  bool Adaptive = false;
+  /// Adaptive target: aim to cut the *remaining* range into about this
+  /// many descriptors per live worker.
+  uint32_t TargetChunksPerWorker = 4;
+};
 
 /// Per-run statistics of a dynamic distribution.
 struct JobRunStats {
@@ -50,12 +73,21 @@ struct JobRunStats {
   /// Worker launches that failed outright (dead core, injected launch
   /// fault); the pool opens without them.
   uint32_t FailedLaunches = 0;
-  /// Workers that died mid-run, at a chunk boundary.
+  /// Resident-worker launches that succeeded.
+  uint32_t Launches = 0;
+  /// Workers that died mid-run, at a descriptor boundary.
   uint32_t DeadWorkers = 0;
   /// Chunks popped by a worker that died and were re-queued.
   uint32_t RequeuedChunks = 0;
   /// Chunks that ran on the host because no worker was available.
   uint32_t HostChunks = 0;
+  /// Work descriptors pushed through the mailboxes (re-dispatch of
+  /// re-queued chunks included).
+  uint64_t DescriptorsDispatched = 0;
+  /// Per-chunk launches the resident runtime amortized away:
+  /// descriptors dispatched minus launches paid. The launch-per-chunk
+  /// runtime this replaced had this pinned at zero by construction.
+  uint64_t LaunchesSaved = 0;
 
   /// max/mean busy ratio; 1.0 = perfectly balanced.
   double imbalance() const {
@@ -74,131 +106,86 @@ struct JobRunStats {
 };
 
 /// Runs Body(Ctx, Begin, End) for chunks of [0, Count), dynamically
-/// assigning each chunk to the least-loaded accelerator. Bodies of
-/// different chunks must touch disjoint outer state (as with
-/// parallelForRange). Survives accelerator death and machines with no
-/// usable accelerator at all, provided the body is host-invocable
-/// (takes its context parameter as auto&); see JobRunStats for what
-/// went wrong and where the work ended up.
+/// assigning each chunk to the least-loaded accelerator through the
+/// resident workers' mailboxes. Bodies of different chunks must touch
+/// disjoint outer state (as with parallelForRange). Survives
+/// accelerator death and machines with no usable accelerator at all,
+/// provided the body is host-invocable (takes its context parameter as
+/// auto&); see JobRunStats for what went wrong and where the work ended
+/// up.
+template <typename BodyFn>
+JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
+                           const JobQueueOptions &Opts, BodyFn &&Body) {
+  JobRunStats Stats;
+  if (Count == 0)
+    return Stats;
+  uint32_t ChunkSize = std::max(1u, Opts.ChunkSize);
+  uint32_t TargetPerWorker = std::max(1u, Opts.TargetChunksPerWorker);
+
+  ResidentWorkerPool Pool(M, Opts.MaxWorkers);
+
+  // Descriptors handed back by dying workers; re-dispatched before any
+  // new chunk is carved so recovery preserves queue order.
+  std::vector<sim::WorkDescriptor> Orphans;
+  size_t OrphanHead = 0;
+  uint32_t Next = 0;
+  uint64_t Seq = 0;
+  while (Next < Count || OrphanHead < Orphans.size()) {
+    sim::WorkDescriptor Desc;
+    if (OrphanHead < Orphans.size()) {
+      Desc = Orphans[OrphanHead++];
+    } else {
+      uint32_t Chunk = ChunkSize;
+      if (Opts.Adaptive && Pool.liveCount() > 0)
+        // Guided self-scheduling: hand out 1/(target * workers) of what
+        // remains, never below the configured floor.
+        Chunk = std::max(ChunkSize, (Count - Next) /
+                                        (TargetPerWorker * Pool.liveCount()));
+      uint32_t End = std::min(Count, Next + Chunk);
+      Desc = sim::WorkDescriptor{Next, End, Seq++,
+                                 sim::WorkDescriptor::NoHome};
+      Next = End;
+    }
+    if (Pool.liveCount() == 0) {
+      // Nowhere left to offload: the host works the queue itself.
+      ++Stats.HostChunks;
+      ++M.hostCounters().HostFallbackChunks;
+      M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
+                   /*BlockId=*/0, M.hostClock().now(), Desc.Begin});
+      detail::runChunkOnHost(M, Body, Desc.Begin, Desc.End);
+      continue;
+    }
+    // Eager dispatch: push to the least-loaded worker and let it pop
+    // immediately. A death on the pop orphans the descriptor (and any
+    // backlog); the next iteration re-dispatches it to a survivor.
+    unsigned W = Pool.pickWorker();
+    Pool.dispatch(W, Desc);
+    Pool.executeNext(W, Body, Orphans);
+  }
+
+  Pool.close();
+  const ResidentPoolStats &PS = Pool.stats();
+  Stats.MakespanCycles = Pool.makespanCycles();
+  Stats.WorkerBusyCycles = PS.BusyCycles;
+  Stats.WorkerChunks = PS.Chunks;
+  Stats.FailedLaunches = PS.FailedLaunches;
+  Stats.Launches = PS.Launches;
+  Stats.DeadWorkers = PS.DeadWorkers;
+  Stats.RequeuedChunks = PS.RequeuedDescriptors;
+  Stats.DescriptorsDispatched = PS.DescriptorsDispatched;
+  Stats.LaunchesSaved = PS.launchesSaved();
+  return Stats;
+}
+
+/// Fixed-chunk convenience overload (the original interface).
 template <typename BodyFn>
 JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
                            uint32_t ChunkSize, BodyFn &&Body,
                            unsigned MaxWorkers = ~0u) {
-  JobRunStats Stats;
-  if (Count == 0)
-    return Stats;
-  if (ChunkSize == 0)
-    ChunkSize = 1;
-  unsigned Budget = std::min(M.numAccelerators(), MaxWorkers);
-
-  const sim::MachineConfig &Cfg = M.config();
-  sim::FaultInjector *FI = M.faults();
-  uint64_t FrameStart = M.hostClock().now();
-  uint64_t FrameEnd = FrameStart;
-
-  // Open one worker block per usable accelerator (one launch each — the
-  // whole point of a resident job kernel is to not relaunch per job).
-  struct Worker {
-    unsigned AccelId;
-    uint64_t BlockId;
-    unsigned StatIndex;
-    sim::LocalStore::Mark Mark;
-    std::unique_ptr<OffloadContext> Ctx;
-  };
-  std::vector<Worker> Pool;
-  for (unsigned W = 0; W != Budget; ++W) {
-    M.hostClock().advance(Cfg.HostLaunchCycles);
-    uint64_t BlockId = M.takeBlockId();
-    if (detail::classifyLaunch(M, W, BlockId) != OffloadStatus::Ok) {
-      // classifyLaunch already billed the fault; the pool just opens
-      // one worker short. A core killed during launch still burned
-      // cycles that bound the makespan.
-      ++Stats.FailedLaunches;
-      FrameEnd = std::max(FrameEnd, M.accel(W).FreeAt);
-      continue;
-    }
-    sim::Accelerator &Accel = M.accel(W);
-    Accel.Clock.resetTo(std::max(Accel.FreeAt, M.hostClock().now()) +
-                        Cfg.OffloadLaunchCycles);
-    unsigned StatIndex = static_cast<unsigned>(Pool.size());
-    Pool.push_back(
-        Worker{W, BlockId, StatIndex, Accel.Store.mark(), nullptr});
-    if (sim::DmaObserver *Obs = M.observer())
-      Obs->onBlockBegin(W, BlockId, Accel.Clock.now());
-    Pool.back().Ctx = std::make_unique<OffloadContext>(M, W);
-  }
-  Stats.WorkerBusyCycles.assign(Pool.size(), 0);
-  Stats.WorkerChunks.assign(Pool.size(), 0);
-
-  // Closes one worker's block and folds its finish time into the
-  // makespan; used both for mid-run deaths and for orderly retirement.
-  auto CloseWorker = [&](Worker &W) {
-    sim::Accelerator &Accel = M.accel(W.AccelId);
-    if (sim::DmaObserver *Obs = M.observer())
-      Obs->onBlockEnd(W.AccelId, W.BlockId, Accel.Clock.now());
-    Accel.Dma.waitAll();
-    W.Ctx.reset();
-    Accel.Store.reset(W.Mark);
-    Accel.FreeAt = Accel.Clock.now();
-    FrameEnd = std::max(FrameEnd, Accel.FreeAt);
-  };
-
-  // Hand each chunk to the worker with the lowest simulated clock —
-  // the deterministic equivalent of "whoever pops the queue first". A
-  // chunk whose worker dies on the pop is re-queued; the retry loop is
-  // bounded because every iteration either runs the chunk or shrinks
-  // the pool.
-  for (uint32_t Begin = 0; Begin < Count; Begin += ChunkSize) {
-    uint32_t End = std::min(Count, Begin + ChunkSize);
-    for (;;) {
-      if (Pool.empty()) {
-        // Nowhere left to offload: the host works the queue itself.
-        ++Stats.HostChunks;
-        ++M.hostCounters().HostFallbackChunks;
-        M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
-                     /*BlockId=*/0, M.hostClock().now(), Begin});
-        detail::runChunkOnHost(M, Body, Begin, End);
-        break;
-      }
-      unsigned Best = 0;
-      for (unsigned W = 1; W != Pool.size(); ++W)
-        if (M.accel(Pool[W].AccelId).Clock.now() <
-            M.accel(Pool[Best].AccelId).Clock.now())
-          Best = W;
-      Worker &Chosen = Pool[Best];
-      sim::Accelerator &Accel = M.accel(Chosen.AccelId);
-      // Popping the shared queue costs an atomic round trip to main
-      // memory (modelled as one DMA latency).
-      Accel.Clock.advance(Cfg.DmaLatencyCycles);
-      if (FI && FI->chunkFails(Chosen.AccelId)) {
-        // The worker died holding the chunk, before the body touched
-        // any state: put the chunk back and bury the worker.
-        ++Stats.DeadWorkers;
-        ++Stats.RequeuedChunks;
-        ++M.hostCounters().FailoverChunks;
-        M.emitFault({sim::FaultKind::ChunkRequeued, Chosen.AccelId,
-                     Chosen.BlockId, Accel.Clock.now(), Begin});
-        M.killAccelerator(Chosen.AccelId, Chosen.BlockId);
-        CloseWorker(Chosen);
-        Pool.erase(Pool.begin() + Best);
-        continue;
-      }
-      uint64_t Start = Accel.Clock.now();
-      Body(*Chosen.Ctx, Begin, End);
-      Stats.WorkerBusyCycles[Chosen.StatIndex] +=
-          Accel.Clock.now() - Start;
-      ++Stats.WorkerChunks[Chosen.StatIndex];
-      break;
-    }
-  }
-
-  // Retire the survivors.
-  for (Worker &W : Pool)
-    CloseWorker(W);
-  FrameEnd = std::max(FrameEnd, M.hostClock().now());
-  M.hostCounters().JoinStallCycles += M.hostClock().advanceTo(FrameEnd);
-  Stats.MakespanCycles = FrameEnd - FrameStart;
-  return Stats;
+  JobQueueOptions Opts;
+  Opts.ChunkSize = ChunkSize;
+  Opts.MaxWorkers = MaxWorkers;
+  return distributeJobs(M, Count, Opts, std::forward<BodyFn>(Body));
 }
 
 } // namespace omm::offload

@@ -9,10 +9,15 @@
 /// TBB-style data-parallel helpers over the accelerators, after the
 /// authors' companion work the paper cites ("Programming heterogeneous
 /// multicore systems using threading building blocks", HPPC 2010): an
-/// index range is split into contiguous sub-ranges, one offload block
-/// per accelerator, joined together. Sub-ranges are disjoint, so the
-/// blocks share nothing writable and the schedule is race-checker
-/// clean by construction.
+/// index range is split into contiguous sub-ranges, one per
+/// accelerator. The split runs on the persistent-worker runtime
+/// (ResidentWorker.h) as its degenerate one-descriptor-per-worker
+/// case: each resident worker receives its slice through its mailbox,
+/// and a slice whose home core is dead or dies mid-run fails over into
+/// a survivor's mailbox with its boundaries untouched. Sub-ranges are
+/// disjoint, so the workers share nothing writable and the schedule is
+/// race-checker clean by construction — and bit-identical under
+/// faults, because the boundaries never move.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,10 +26,12 @@
 
 #include "offload/DoubleBuffer.h"
 #include "offload/Offload.h"
+#include "offload/ResidentWorker.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
 #include <numeric>
+#include <vector>
 
 namespace omm::offload {
 
@@ -38,7 +45,12 @@ struct ParallelForStats {
   unsigned FailoverSlices = 0;
   /// Slices that fell back to the host (no accelerator could take them).
   unsigned HostSlices = 0;
-  /// Worst status observed when joining the launched blocks.
+  /// Per-slice launches the resident runtime amortized away
+  /// (descriptors dispatched minus worker launches paid; zero for the
+  /// fault-free one-slice-per-worker split, positive when failover
+  /// funnels several slices through one worker).
+  uint64_t LaunchesSaved = 0;
+  /// Worst launch outcome observed while opening the worker pool.
   OffloadStatus Status = OffloadStatus::Ok;
 };
 
@@ -71,45 +83,73 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
   uint32_t PerWorker = Count / Workers;
   uint32_t Remainder = Count % Workers;
 
-  OffloadGroup Group;
+  ResidentWorkerPool Pool(M, Workers);
+
+  // Slices orphaned by a worker death, awaiting re-dispatch.
+  std::vector<sim::WorkDescriptor> Orphans;
+  size_t OrphanHead = 0;
+
+  auto RunOnHost = [&](const sim::WorkDescriptor &Desc) {
+    ++Stats.HostSlices;
+    ++M.hostCounters().HostFallbackChunks;
+    M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
+                 /*BlockId=*/0, M.hostClock().now(), Desc.Begin});
+    detail::runChunkOnHost(M, Body, Desc.Begin, Desc.End);
+  };
+
+  // Home worker first; a slice whose home never opened (or has died)
+  // fails over into the least-loaded survivor's mailbox, and when the
+  // pool is empty the host runs it. The loop is bounded: every
+  // iteration dispatches, executes a descriptor, or shrinks the pool.
+  auto Dispatch = [&](sim::WorkDescriptor Desc) {
+    for (;;) {
+      if (Pool.liveCount() == 0) {
+        RunOnHost(Desc);
+        return;
+      }
+      unsigned W = Pool.findWorkerFor(Desc.Home);
+      if (W == ResidentWorkerPool::NoWorker)
+        W = Pool.pickWorker();
+      if (Pool.mailbox(W).full()) {
+        // Make room by letting the backed-up worker run a descriptor
+        // (a death here orphans its backlog; retry the pick).
+        Pool.executeNext(W, Body, Orphans);
+        continue;
+      }
+      Pool.dispatch(W, Desc);
+      return;
+    }
+  };
+
+  // Publish the static split up front — the slice boundaries are fixed
+  // by the full budget and never move, whatever happens to the workers.
   uint32_t Begin = 0;
   for (unsigned W = 0; W != Workers; ++W) {
     uint32_t Len = PerWorker + (W < Remainder ? 1 : 0);
-    uint32_t End = Begin + Len;
-    // Try the slice's home accelerator first, then rotate through the
-    // rest; at most one launch attempt per core bounds the loop.
-    bool Launched = false, Retried = false;
-    for (unsigned Try = 0; Try != NumAccels; ++Try) {
-      unsigned A = (W + Try) % NumAccels;
-      if (!M.accel(A).Alive) {
-        Retried = true;
-        continue;
-      }
-      OffloadStatus St =
-          Group.launchOn(M, A, [&Body, Begin, End](OffloadContext &Ctx) {
-            Body(Ctx, Begin, End);
-          });
-      if (St == OffloadStatus::Ok) {
-        if (Retried) {
-          ++Stats.FailoverSlices;
-          ++M.hostCounters().FailoverChunks;
-        }
-        Launched = true;
-        break;
-      }
-      ++Stats.LaunchFaults;
-      Retried = true;
-    }
-    if (!Launched) {
-      ++Stats.HostSlices;
-      ++M.hostCounters().HostFallbackChunks;
-      M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
-                   /*BlockId=*/0, M.hostClock().now(), Begin});
-      detail::runChunkOnHost(M, Body, Begin, End);
-    }
-    Begin = End;
+    Dispatch(sim::WorkDescriptor{Begin, Begin + Len, /*Seq=*/W,
+                                 /*Home=*/W});
+    Begin += Len;
   }
-  Stats.Status = Group.joinAll(M);
+
+  // Drain: recovered orphans first (in death order), then whichever
+  // loaded worker has the lowest clock, until every mailbox is empty.
+  for (;;) {
+    if (OrphanHead < Orphans.size()) {
+      Dispatch(Orphans[OrphanHead++]);
+      continue;
+    }
+    unsigned W = Pool.pickLoadedWorker();
+    if (W == ResidentWorkerPool::NoWorker)
+      break;
+    Pool.executeNext(W, Body, Orphans);
+  }
+
+  Pool.close();
+  const ResidentPoolStats &PS = Pool.stats();
+  Stats.LaunchFaults = PS.FailedLaunches;
+  Stats.FailoverSlices = PS.FailoverDescriptors;
+  Stats.LaunchesSaved = PS.launchesSaved();
+  Stats.Status = PS.WorstLaunchStatus;
   return Stats;
 }
 

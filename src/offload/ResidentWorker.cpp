@@ -1,0 +1,159 @@
+//===- offload/ResidentWorker.cpp - Persistent worker runtime ------------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/ResidentWorker.h"
+
+#include "support/Diag.h"
+
+#include <algorithm>
+
+using namespace omm;
+using namespace omm::offload;
+
+ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
+    : M(M), Faults(M.faults()) {
+  const sim::MachineConfig &Cfg = M.config();
+  unsigned Budget = std::min(M.numAccelerators(), MaxWorkers);
+  FrameStart = M.hostClock().now();
+  FrameEnd = FrameStart;
+  for (unsigned W = 0; W != Budget; ++W) {
+    M.hostClock().advance(Cfg.HostLaunchCycles);
+    uint64_t BlockId = M.takeBlockId();
+    if (OffloadStatus St = detail::classifyLaunch(M, W, BlockId);
+        St != OffloadStatus::Ok) {
+      // classifyLaunch already billed the fault; the pool just opens
+      // one worker short. A core killed during launch still burned
+      // cycles that bound the makespan.
+      ++PS.FailedLaunches;
+      if (PS.WorstLaunchStatus == OffloadStatus::Ok)
+        PS.WorstLaunchStatus = St;
+      FrameEnd = std::max(FrameEnd, M.accel(W).FreeAt);
+      continue;
+    }
+    sim::Accelerator &Accel = M.accel(W);
+    Accel.Clock.resetTo(std::max(Accel.FreeAt, M.hostClock().now()) +
+                        Cfg.OffloadLaunchCycles);
+    unsigned StatIndex = static_cast<unsigned>(Live.size());
+    Live.push_back(Worker{W, BlockId, StatIndex, 0, Accel.Store.mark(),
+                          nullptr, nullptr});
+    if (sim::DmaObserver *Obs = M.observer())
+      Obs->onBlockBegin(W, BlockId, Accel.Clock.now());
+    Live.back().Ctx = std::make_unique<OffloadContext>(M, W);
+    Live.back().Box = std::make_unique<sim::Mailbox>(M, W, BlockId);
+    ++PS.Launches;
+  }
+  PS.BusyCycles.assign(Live.size(), 0);
+  PS.Chunks.assign(Live.size(), 0);
+}
+
+unsigned ResidentWorkerPool::pickWorker() const {
+  if (Live.empty())
+    reportFatalError("resident pool: picking a worker from an empty pool");
+  unsigned Best = 0;
+  for (unsigned W = 1; W != Live.size(); ++W) {
+    uint64_t BestClock = M.accel(Live[Best].AccelId).Clock.now();
+    uint64_t Clock = M.accel(Live[W].AccelId).Clock.now();
+    // Lowest clock wins; ties go to the worker with fewer descriptors
+    // executed, then the lower accelerator id. Without the tuple,
+    // zero-cost regions would funnel every descriptor to pool order's
+    // first entry.
+    if (Clock < BestClock ||
+        (Clock == BestClock &&
+         (Live[W].Executed < Live[Best].Executed ||
+          (Live[W].Executed == Live[Best].Executed &&
+           Live[W].AccelId < Live[Best].AccelId))))
+      Best = W;
+  }
+  return Best;
+}
+
+unsigned ResidentWorkerPool::pickLoadedWorker() const {
+  unsigned Best = NoWorker;
+  for (unsigned W = 0; W != Live.size(); ++W) {
+    if (Live[W].Box->empty())
+      continue;
+    if (Best == NoWorker) {
+      Best = W;
+      continue;
+    }
+    uint64_t BestClock = M.accel(Live[Best].AccelId).Clock.now();
+    uint64_t Clock = M.accel(Live[W].AccelId).Clock.now();
+    if (Clock < BestClock ||
+        (Clock == BestClock &&
+         (Live[W].Executed < Live[Best].Executed ||
+          (Live[W].Executed == Live[Best].Executed &&
+           Live[W].AccelId < Live[Best].AccelId))))
+      Best = W;
+  }
+  return Best;
+}
+
+unsigned ResidentWorkerPool::findWorkerFor(unsigned AccelId) const {
+  for (unsigned W = 0; W != Live.size(); ++W)
+    if (Live[W].AccelId == AccelId)
+      return W;
+  return NoWorker;
+}
+
+void ResidentWorkerPool::dispatch(unsigned W,
+                                  const sim::WorkDescriptor &Desc) {
+  if (!Live[W].Box->push(Desc))
+    reportFatalError("resident pool: dispatching to a full mailbox");
+  ++PS.DescriptorsDispatched;
+}
+
+void ResidentWorkerPool::closeWorker(Worker &Wk) {
+  sim::Accelerator &Accel = M.accel(Wk.AccelId);
+  if (sim::DmaObserver *Obs = M.observer())
+    Obs->onBlockEnd(Wk.AccelId, Wk.BlockId, Accel.Clock.now());
+  Accel.Dma.waitAll();
+  Wk.Ctx.reset();
+  Accel.Store.reset(Wk.Mark);
+  Accel.FreeAt = Accel.Clock.now();
+  FrameEnd = std::max(FrameEnd, Accel.FreeAt);
+}
+
+void ResidentWorkerPool::buryWorker(unsigned W,
+                                    const sim::WorkDescriptor &Popped,
+                                    std::vector<sim::WorkDescriptor> &Orphans) {
+  Worker &Wk = Live[W];
+  sim::Accelerator &Accel = M.accel(Wk.AccelId);
+  // The worker died holding the popped descriptor, before the body
+  // touched any state: hand it back first, then whatever was still
+  // queued behind it, oldest first, so re-dispatch preserves order.
+  ++PS.DeadWorkers;
+  ++PS.RequeuedDescriptors;
+  ++M.hostCounters().FailoverChunks;
+  M.emitFault({sim::FaultKind::ChunkRequeued, Wk.AccelId, Wk.BlockId,
+               Accel.Clock.now(), Popped.Begin});
+  Orphans.push_back(Popped);
+  std::vector<sim::WorkDescriptor> Pending = Wk.Box->drain();
+  for (const sim::WorkDescriptor &Desc : Pending) {
+    ++PS.RequeuedDescriptors;
+    ++M.hostCounters().FailoverChunks;
+    M.emitFault({sim::FaultKind::ChunkRequeued, Wk.AccelId, Wk.BlockId,
+                 Accel.Clock.now(), Desc.Begin});
+    Orphans.push_back(Desc);
+  }
+  M.killAccelerator(Wk.AccelId, Wk.BlockId);
+  closeWorker(Wk);
+  Live.erase(Live.begin() + W);
+}
+
+void ResidentWorkerPool::close() {
+  if (Closed)
+    return;
+  Closed = true;
+  for (Worker &Wk : Live) {
+    if (!Wk.Box->empty())
+      reportFatalError("resident pool: closing with descriptors pending");
+    closeWorker(Wk);
+  }
+  Live.clear();
+  FrameEnd = std::max(FrameEnd, M.hostClock().now());
+  M.hostCounters().JoinStallCycles += M.hostClock().advanceTo(FrameEnd);
+}

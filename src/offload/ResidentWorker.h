@@ -1,0 +1,203 @@
+//===- offload/ResidentWorker.h - Persistent worker runtime ----*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent-worker runtime: one ResidentWorkerPool per parallel
+/// region launches a resident worker (one offload block) per usable
+/// accelerator, and from then on work reaches the accelerators through
+/// per-core mailboxes (sim/Mailbox.h) instead of fresh launches. N
+/// chunks cost one OffloadLaunchCycles launch plus N cheap mailbox
+/// transactions — the offload-overhead amortization both JobQueue.h and
+/// ParallelFor.h are built on.
+///
+/// Scheduling is deterministic: the next descriptor goes to the worker
+/// with the lowest simulated clock, ties broken by fewest descriptors
+/// executed, then by accelerator id — so perfectly symmetric workers
+/// round-robin instead of piling onto pool-order's first entry (which
+/// used to hide imbalance whenever per-chunk costs were zero).
+///
+/// Fault handling follows the established recovery contract: a worker
+/// that dies popping a descriptor (FaultInjector::chunkFails) has that
+/// descriptor *and* everything still pending in its mailbox handed back
+/// to the caller for re-dispatch with the [Begin, End) boundaries
+/// untouched, so recovered runs compute bit-identical state. When the
+/// pool empties the caller falls back to the host, exactly as before.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_OFFLOAD_RESIDENTWORKER_H
+#define OMM_OFFLOAD_RESIDENTWORKER_H
+
+#include "offload/Offload.h"
+#include "offload/OffloadContext.h"
+#include "sim/Mailbox.h"
+
+#include <memory>
+#include <vector>
+
+namespace omm::offload {
+
+/// What one pool did over its lifetime; the callers translate this into
+/// JobRunStats / ParallelForStats / FrameStats.
+struct ResidentPoolStats {
+  /// Busy cycles per opened worker (body time only, as JobQueue always
+  /// measured it), indexed by open order.
+  std::vector<uint64_t> BusyCycles;
+  /// Descriptors executed per opened worker, same indexing.
+  std::vector<uint32_t> Chunks;
+  /// Resident-worker launches that failed outright (dead core, injected
+  /// launch fault); the pool opened without them.
+  uint32_t FailedLaunches = 0;
+  /// Worst launch outcome (Ok when every worker opened), for callers
+  /// that surface an OffloadStatus.
+  OffloadStatus WorstLaunchStatus = OffloadStatus::Ok;
+  /// Resident-worker launches that succeeded.
+  uint32_t Launches = 0;
+  /// Workers that died in their doorbell loop.
+  uint32_t DeadWorkers = 0;
+  /// Descriptors handed back by dying workers (the popped one plus the
+  /// mailbox backlog) for re-dispatch.
+  uint32_t RequeuedDescriptors = 0;
+  /// Descriptors executed on a different accelerator than their static
+  /// split intended (WorkDescriptor::Home).
+  uint32_t FailoverDescriptors = 0;
+  /// Doorbell pushes, including re-dispatch of requeued descriptors.
+  uint64_t DescriptorsDispatched = 0;
+
+  /// Descriptors minus launches: how many per-chunk launches the
+  /// resident runtime amortized away (0 when nothing was dispatched,
+  /// and for the degenerate one-descriptor-per-worker static split).
+  uint64_t launchesSaved() const {
+    return DescriptorsDispatched > Launches
+               ? DescriptorsDispatched - Launches
+               : 0;
+  }
+};
+
+/// A pool of resident workers for one parallel region. Construction
+/// launches the workers; close() (or destruction) retires them and
+/// resolves the region's makespan. Not reusable across regions — the
+/// workers' offload blocks end when the pool closes.
+class ResidentWorkerPool {
+public:
+  static constexpr unsigned NoWorker = ~0u;
+
+  /// Opens up to min(numAccelerators, MaxWorkers) resident workers.
+  /// Launches follow the classifyLaunch fault gate, so a pool can open
+  /// short-handed or empty; the caller handles host fallback.
+  ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers);
+
+  ResidentWorkerPool(const ResidentWorkerPool &) = delete;
+  ResidentWorkerPool &operator=(const ResidentWorkerPool &) = delete;
+
+  ~ResidentWorkerPool() { close(); }
+
+  sim::Machine &machine() { return M; }
+  const ResidentPoolStats &stats() const { return PS; }
+
+  /// Live (not yet dead or retired) workers.
+  unsigned liveCount() const { return static_cast<unsigned>(Live.size()); }
+
+  /// The deterministic dispatch choice: the live worker with the lowest
+  /// (clock, descriptors executed, accelerator id). Pool must not be
+  /// empty.
+  unsigned pickWorker() const;
+
+  /// As pickWorker, restricted to workers with a non-empty mailbox;
+  /// NoWorker when every mailbox is empty (the drain loop's exit).
+  unsigned pickLoadedWorker() const;
+
+  /// \returns the live worker running on accelerator \p AccelId, or
+  /// NoWorker when that core never launched or has died.
+  unsigned findWorkerFor(unsigned AccelId) const;
+
+  unsigned accelId(unsigned W) const { return Live[W].AccelId; }
+  sim::Mailbox &mailbox(unsigned W) { return *Live[W].Box; }
+
+  /// Host side: publishes \p Desc to worker \p W's mailbox (doorbell
+  /// cost, dispatch counters). The caller must leave room (dispatching
+  /// to a full mailbox is fatal; see executeNext to make room).
+  void dispatch(unsigned W, const sim::WorkDescriptor &Desc);
+
+  /// Worker side: worker \p W pops and executes its oldest descriptor.
+  /// \returns true on success. On a death verdict the popped descriptor
+  /// and the mailbox backlog are appended to \p Orphans (boundaries
+  /// intact, oldest first), the worker is buried and the pool shrinks —
+  /// the caller re-dispatches the orphans; false is returned.
+  template <typename BodyFn>
+  bool executeNext(unsigned W, BodyFn &Body,
+                   std::vector<sim::WorkDescriptor> &Orphans) {
+    Worker &Wk = Live[W];
+    sim::Accelerator &Accel = M.accel(Wk.AccelId);
+    sim::WorkDescriptor Desc = Wk.Box->pop();
+    if (Faults && Faults->chunkFails(Wk.AccelId)) {
+      buryWorker(W, Desc, Orphans);
+      return false;
+    }
+    if (Desc.Home != sim::WorkDescriptor::NoHome &&
+        Desc.Home != Wk.AccelId) {
+      ++PS.FailoverDescriptors;
+      ++M.hostCounters().FailoverChunks;
+    }
+    uint64_t Start = Accel.Clock.now();
+    {
+      // Per-descriptor allocations (staging buffers, caches the body
+      // constructs) must not accumulate across the worker's life.
+      OffloadContext::LocalScope Scope(*Wk.Ctx);
+      Body(*Wk.Ctx, Desc.Begin, Desc.End);
+    }
+    uint64_t End = Accel.Clock.now();
+    PS.BusyCycles[Wk.StatIndex] += End - Start;
+    ++PS.Chunks[Wk.StatIndex];
+    ++Wk.Executed;
+    if (sim::DmaObserver *Obs = M.observer())
+      Obs->onDescriptor(Wk.AccelId, Wk.BlockId, Desc.Seq, Desc.Begin,
+                        Desc.End, Start, End);
+    return true;
+  }
+
+  /// Retires the surviving workers, folds every finish time into the
+  /// region makespan and joins the host to it (JoinStallCycles).
+  /// Idempotent; called by the destructor as a backstop.
+  void close();
+
+  /// Region makespan; valid after close().
+  uint64_t makespanCycles() const { return FrameEnd - FrameStart; }
+
+private:
+  struct Worker {
+    unsigned AccelId = 0;
+    uint64_t BlockId = 0;
+    unsigned StatIndex = 0;
+    uint32_t Executed = 0;
+    sim::LocalStore::Mark Mark;
+    std::unique_ptr<OffloadContext> Ctx;
+    std::unique_ptr<sim::Mailbox> Box;
+  };
+
+  /// Ends worker \p W's block (observer, DMA drain, arena reset,
+  /// FreeAt) and folds its finish time into the makespan.
+  void closeWorker(Worker &Wk);
+
+  /// The death path: requeues \p Popped plus the mailbox backlog into
+  /// \p Orphans, bills the recovery counters, kills the core and
+  /// removes the worker from the pool.
+  void buryWorker(unsigned W, const sim::WorkDescriptor &Popped,
+                  std::vector<sim::WorkDescriptor> &Orphans);
+
+  sim::Machine &M;
+  sim::FaultInjector *Faults;
+  std::vector<Worker> Live;
+  ResidentPoolStats PS;
+  uint64_t FrameStart = 0;
+  uint64_t FrameEnd = 0;
+  bool Closed = false;
+};
+
+} // namespace omm::offload
+
+#endif // OMM_OFFLOAD_RESIDENTWORKER_H

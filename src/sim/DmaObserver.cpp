@@ -38,6 +38,20 @@ const char *sim::faultKindName(FaultKind Kind) {
   return "unknown_fault";
 }
 
+const char *sim::mailboxEventKindName(MailboxEventKind Kind) {
+  switch (Kind) {
+  case MailboxEventKind::DoorbellWrite:
+    return "doorbell_write";
+  case MailboxEventKind::IdlePoll:
+    return "idle_poll";
+  case MailboxEventKind::DescriptorFetch:
+    return "descriptor_fetch";
+  case MailboxEventKind::MailboxDrained:
+    return "mailbox_drained";
+  }
+  return "unknown_mailbox_event";
+}
+
 void ObserverMux::add(DmaObserver *Obs) {
   if (!Obs)
     reportFatalError("observer: attaching a null observer");
@@ -89,4 +103,17 @@ void ObserverMux::onBlockEnd(unsigned AccelId, uint64_t BlockId,
 void ObserverMux::onFault(const FaultEvent &Event) {
   for (DmaObserver *Obs : Observers)
     Obs->onFault(Event);
+}
+
+void ObserverMux::onMailbox(const MailboxEvent &Event) {
+  for (DmaObserver *Obs : Observers)
+    Obs->onMailbox(Event);
+}
+
+void ObserverMux::onDescriptor(unsigned AccelId, uint64_t BlockId,
+                               uint64_t Seq, uint32_t Begin, uint32_t End,
+                               uint64_t StartCycle, uint64_t EndCycle) {
+  for (DmaObserver *Obs : Observers)
+    Obs->onDescriptor(AccelId, BlockId, Seq, Begin, End, StartCycle,
+                      EndCycle);
 }

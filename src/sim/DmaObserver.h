@@ -75,6 +75,38 @@ enum class FaultKind : uint8_t {
 /// \returns a stable lower-case name for \p Kind (trace/report output).
 const char *faultKindName(FaultKind Kind);
 
+/// Kinds of mailbox transactions of the persistent-worker runtime
+/// (Mailbox.h), as reported to observers. The trace layer renders the
+/// host-side kinds as instants so descriptor dispatch is visible
+/// between the launch spans it replaces.
+enum class MailboxEventKind : uint8_t {
+  DoorbellWrite,   ///< Host published a descriptor and rang the bell.
+  IdlePoll,        ///< A worker spun on an empty mailbox (Detail = cycles).
+  DescriptorFetch, ///< A worker DMA-fetched a descriptor.
+  MailboxDrained,  ///< A dead worker's pending descriptors were taken
+                   ///< back for re-queueing (Seq = how many).
+};
+
+/// \returns a stable lower-case name for \p Kind (trace/report output).
+const char *mailboxEventKindName(MailboxEventKind Kind);
+
+/// One mailbox transaction as reported to observers.
+struct MailboxEvent {
+  MailboxEventKind Kind = MailboxEventKind::DoorbellWrite;
+  unsigned AccelId = 0;
+  /// The resident worker's offload block.
+  uint64_t BlockId = 0;
+  /// Descriptor sequence number, or the pending count for
+  /// MailboxDrained.
+  uint64_t Seq = 0;
+  /// Simulated cycle (host clock for DoorbellWrite/MailboxDrained,
+  /// worker clock for IdlePoll/DescriptorFetch).
+  uint64_t Cycle = 0;
+  /// Kind-specific payload: the descriptor's begin index, or the spin
+  /// cycles for IdlePoll.
+  uint64_t Detail = 0;
+};
+
 /// One fault as reported to observers.
 struct FaultEvent {
   FaultKind Kind = FaultKind::AcceleratorDeath;
@@ -156,6 +188,29 @@ public:
   /// callback this is purely informational; the cost of the fault has
   /// already been charged by the machine or the offload runtime.
   virtual void onFault(const FaultEvent &Event) { (void)Event; }
+
+  /// A mailbox transaction of the persistent-worker runtime happened
+  /// (doorbell write, descriptor fetch, idle poll, death drain). The
+  /// costs are already charged; this only reports them.
+  virtual void onMailbox(const MailboxEvent &Event) { (void)Event; }
+
+  /// A resident worker finished executing one work descriptor: block
+  /// \p BlockId on \p AccelId ran [Begin, End) from \p StartCycle to
+  /// \p EndCycle (body time only; the descriptor fetch was reported
+  /// through onMailbox). Sequence numbers are monotonic per parallel
+  /// region, so tools can spot re-queued descriptors executing out of
+  /// order after a worker death.
+  virtual void onDescriptor(unsigned AccelId, uint64_t BlockId,
+                            uint64_t Seq, uint32_t Begin, uint32_t End,
+                            uint64_t StartCycle, uint64_t EndCycle) {
+    (void)AccelId;
+    (void)BlockId;
+    (void)Seq;
+    (void)Begin;
+    (void)End;
+    (void)StartCycle;
+    (void)EndCycle;
+  }
 };
 
 /// Fans every callback out to a list of observers, in registration
@@ -188,6 +243,10 @@ public:
                     uint64_t LaunchCycle) override;
   void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
   void onFault(const FaultEvent &Event) override;
+  void onMailbox(const MailboxEvent &Event) override;
+  void onDescriptor(unsigned AccelId, uint64_t BlockId, uint64_t Seq,
+                    uint32_t Begin, uint32_t End, uint64_t StartCycle,
+                    uint64_t EndCycle) override;
 
 private:
   std::vector<DmaObserver *> Observers;

@@ -42,6 +42,9 @@ void PerfCounters::print(OStream &OS) const {
   Row("accelerators lost", AcceleratorsLost);
   Row("failover chunks", FailoverChunks);
   Row("host fallback chunks", HostFallbackChunks);
+  Row("descriptors dispatched", DescriptorsDispatched);
+  Row("doorbell cycles", DoorbellCycles);
+  Row("idle-poll cycles", IdlePollCycles);
 }
 
 Machine::Machine(const MachineConfig &Config)

@@ -131,6 +131,24 @@ struct MachineConfig {
   /// Host-side cycles consumed issuing an offload launch.
   uint64_t HostLaunchCycles = 200;
 
+  /// Host cycles to ring a resident worker's doorbell when dispatching
+  /// one work descriptor (an uncached store plus the barrier that makes
+  /// the descriptor visible) — the persistent-worker runtime's cheap
+  /// alternative to paying HostLaunchCycles per chunk.
+  uint64_t MailboxDoorbellCycles = 40;
+
+  /// Accelerator cycles to fetch one work descriptor from the worker's
+  /// mailbox in main memory (the atomic pop's DMA round trip).
+  uint64_t MailboxDescriptorCycles = 200;
+
+  /// Poll-loop backoff quantum: a resident worker waiting on an empty
+  /// mailbox re-checks its doorbell every this many cycles, so wake-ups
+  /// are quantized to it.
+  uint64_t MailboxIdlePollCycles = 16;
+
+  /// Descriptor capacity of one resident worker's mailbox.
+  unsigned MailboxDepth = 8;
+
   /// When true the machine behaves as a traditional single-space SMP:
   /// accelerators address main memory directly at HostAccessCycles and
   /// DMA degenerates to a cheap copy. Used as the paper's "traditional

@@ -1,0 +1,82 @@
+//===- sim/Mailbox.cpp - Per-accelerator work-descriptor mailbox ----------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Mailbox.h"
+
+#include "sim/Machine.h"
+#include "support/Diag.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace omm;
+using namespace omm::sim;
+
+Mailbox::Mailbox(Machine &M, unsigned AccelId, uint64_t BlockId)
+    : M(M), AccelId(AccelId), BlockId(BlockId),
+      Depth(std::max(1u, M.config().MailboxDepth)) {}
+
+bool Mailbox::push(const WorkDescriptor &Desc) {
+  if (full())
+    return false;
+  const MachineConfig &Cfg = M.config();
+  M.hostClock().advance(Cfg.MailboxDoorbellCycles);
+  M.hostCounters().DoorbellCycles += Cfg.MailboxDoorbellCycles;
+  ++M.accel(AccelId).Counters.DescriptorsDispatched;
+  Slot S;
+  S.Desc = Desc;
+  S.ReadyAt = M.hostClock().now();
+  Slots.push_back(S);
+  if (DmaObserver *Obs = M.observer())
+    Obs->onMailbox({MailboxEventKind::DoorbellWrite, AccelId, BlockId,
+                    Desc.Seq, S.ReadyAt, Desc.Begin});
+  return true;
+}
+
+WorkDescriptor Mailbox::pop() {
+  if (Slots.empty())
+    reportFatalError("mailbox: pop from an empty mailbox");
+  const MachineConfig &Cfg = M.config();
+  Accelerator &Accel = M.accel(AccelId);
+  Slot S = Slots.front();
+  Slots.pop_front();
+
+  // The worker reached its poll loop before the doorbell write landed:
+  // it re-checks once per backoff quantum, so it wakes at the first
+  // poll at or after ReadyAt (never exactly on it unless aligned).
+  uint64_t Now = Accel.Clock.now();
+  if (Now < S.ReadyAt) {
+    uint64_t Quantum = std::max<uint64_t>(1, Cfg.MailboxIdlePollCycles);
+    uint64_t Spin = divideCeil(S.ReadyAt - Now, Quantum) * Quantum;
+    Accel.Clock.advance(Spin);
+    Accel.Counters.IdlePollCycles += Spin;
+    if (DmaObserver *Obs = M.observer())
+      Obs->onMailbox({MailboxEventKind::IdlePoll, AccelId, BlockId,
+                      S.Desc.Seq, Accel.Clock.now(), Spin});
+  }
+
+  // The descriptor itself rides a small DMA from main memory.
+  Accel.Clock.advance(Cfg.MailboxDescriptorCycles);
+  if (DmaObserver *Obs = M.observer())
+    Obs->onMailbox({MailboxEventKind::DescriptorFetch, AccelId, BlockId,
+                    S.Desc.Seq, Accel.Clock.now(), S.Desc.Begin});
+  return S.Desc;
+}
+
+std::vector<WorkDescriptor> Mailbox::drain() {
+  std::vector<WorkDescriptor> Pending;
+  Pending.reserve(Slots.size());
+  for (const Slot &S : Slots)
+    Pending.push_back(S.Desc);
+  Slots.clear();
+  if (!Pending.empty())
+    if (DmaObserver *Obs = M.observer())
+      Obs->onMailbox({MailboxEventKind::MailboxDrained, AccelId, BlockId,
+                      Pending.size(), M.hostClock().now(),
+                      Pending.front().Begin});
+  return Pending;
+}

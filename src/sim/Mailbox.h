@@ -1,0 +1,115 @@
+//===- sim/Mailbox.h - Per-accelerator work-descriptor mailbox -*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch channel of a persistent (resident) offload worker: a
+/// bounded SPSC mailbox in main memory, one per accelerator per parallel
+/// region. The host rings a doorbell to publish a work descriptor; the
+/// worker sits in a poll loop on its end and fetches descriptors with a
+/// small DMA instead of being relaunched per chunk. This is how N chunks
+/// come to cost one OffloadLaunchCycles launch plus N cheap mailbox
+/// transactions (cf. FastFlow-style self-offloading queues and the
+/// resident job loops production Cell engines used).
+///
+/// The cost model has three knobs (MachineConfig):
+///   - MailboxDoorbellCycles:   host side, per push (an uncached store
+///     plus the barrier that makes the descriptor visible);
+///   - MailboxDescriptorCycles: worker side, per pop (the atomic
+///     descriptor fetch's DMA round trip to main memory);
+///   - MailboxIdlePollCycles:   the poll-loop backoff quantum — a worker
+///     that arrives before the doorbell has rung spins in units of this,
+///     so its wake-up time is quantized like a real poll loop's.
+///
+/// Like every sim device the mailbox is deterministic: push stamps the
+/// descriptor with the host clock, pop resolves the worker's wait
+/// against that stamp, and all costs are fixed by configuration. The
+/// death path (drain) gives the pending descriptors back untouched so
+/// the offload runtime can re-queue them with their boundaries intact —
+/// the recovery contract's bit-identity depends on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_SIM_MAILBOX_H
+#define OMM_SIM_MAILBOX_H
+
+#include "sim/DmaObserver.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace omm::sim {
+
+class Machine;
+
+/// One chunk of work as it travels through a mailbox: a [Begin, End)
+/// index range, a per-region monotonic sequence number, and — for
+/// statically split ranges — the accelerator the split intended it for
+/// (so the runtime can tell a failover execution from a planned one).
+struct WorkDescriptor {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  uint64_t Seq = 0;
+  /// Accelerator the static split assigned this range to, or NoHome for
+  /// dynamically scheduled work (which has no preferred core).
+  unsigned Home = ~0u;
+
+  static constexpr unsigned NoHome = ~0u;
+};
+
+/// Bounded SPSC work-descriptor mailbox between the host and one
+/// resident worker. Owned by the offload runtime's worker pool for the
+/// lifetime of one parallel region (the worker's offload block).
+class Mailbox {
+public:
+  Mailbox(Machine &M, unsigned AccelId, uint64_t BlockId);
+
+  Mailbox(const Mailbox &) = delete;
+  Mailbox &operator=(const Mailbox &) = delete;
+
+  /// Host side: publishes \p Desc and rings the doorbell, charging
+  /// MailboxDoorbellCycles to the host clock. The descriptor becomes
+  /// visible to the worker at the host cycle the doorbell write lands.
+  /// \returns false (and charges nothing) when the mailbox is full.
+  bool push(const WorkDescriptor &Desc);
+
+  /// Worker side: fetches the oldest descriptor. A worker that arrives
+  /// before the doorbell rang spins in MailboxIdlePollCycles quanta
+  /// until the descriptor is visible, then pays the descriptor DMA
+  /// (MailboxDescriptorCycles). Popping an empty mailbox is a runtime
+  /// bug and is fatal.
+  WorkDescriptor pop();
+
+  /// Death path: returns every pending descriptor, oldest first, so the
+  /// runtime can re-queue them. Charges no cycles — the survivors pay
+  /// the re-dispatch, exactly like a re-queued chunk.
+  std::vector<WorkDescriptor> drain();
+
+  bool empty() const { return Slots.empty(); }
+  bool full() const { return Slots.size() >= Depth; }
+  unsigned size() const { return static_cast<unsigned>(Slots.size()); }
+  unsigned capacity() const { return Depth; }
+  unsigned accelId() const { return AccelId; }
+  uint64_t blockId() const { return BlockId; }
+
+private:
+  struct Slot {
+    WorkDescriptor Desc;
+    /// Host cycle at which the doorbell write made Desc visible.
+    uint64_t ReadyAt = 0;
+  };
+
+  Machine &M;
+  unsigned AccelId;
+  uint64_t BlockId;
+  unsigned Depth;
+  std::deque<Slot> Slots;
+};
+
+} // namespace omm::sim
+
+#endif // OMM_SIM_MAILBOX_H

@@ -46,6 +46,10 @@ struct PerfCounters {
   uint64_t AcceleratorsLost = 0; ///< Cores that died.
   uint64_t FailoverChunks = 0; ///< Chunks/slices re-run on another core.
   uint64_t HostFallbackChunks = 0; ///< Chunks/slices the host ran instead.
+  uint64_t DescriptorsDispatched = 0; ///< Mailbox descriptors pushed to
+                                      ///< this core's resident worker.
+  uint64_t DoorbellCycles = 0; ///< Host cycles ringing worker doorbells.
+  uint64_t IdlePollCycles = 0; ///< Worker cycles polling empty mailboxes.
 
   /// \returns total DMA transfers issued.
   uint64_t dmaTransfers() const { return DmaGetsIssued + DmaPutsIssued; }
@@ -75,6 +79,9 @@ struct PerfCounters {
     AcceleratorsLost += Other.AcceleratorsLost;
     FailoverChunks += Other.FailoverChunks;
     HostFallbackChunks += Other.HostFallbackChunks;
+    DescriptorsDispatched += Other.DescriptorsDispatched;
+    DoorbellCycles += Other.DoorbellCycles;
+    IdlePollCycles += Other.IdlePollCycles;
   }
 
   /// Prints the counters as a small table.

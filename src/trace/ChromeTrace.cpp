@@ -152,6 +152,40 @@ void emitTransfers(EventSink &Sink, const TraceRecorder &Rec) {
   }
 }
 
+void emitDescriptors(EventSink &Sink, const TraceRecorder &Rec) {
+  // Nested inside the resident worker's "offload #N" span on the same
+  // track. The name deliberately does not share the block spans' prefix
+  // so tools counting blocks don't double-count descriptors.
+  for (const DescriptorSpan &D : Rec.descriptors()) {
+    std::string Name = "desc #" + std::to_string(D.Seq);
+    std::string S = commonFields(Name.c_str(), "descriptor", 'X',
+                                 accelTid(D.AccelId), D.BeginCycle);
+    S += ",\"dur\":" + std::to_string(D.cycles());
+    S += ",\"args\":{\"block\":" + std::to_string(D.BlockId);
+    S += ",\"seq\":" + std::to_string(D.Seq);
+    S += ",\"begin\":" + std::to_string(D.Begin);
+    S += ",\"end\":" + std::to_string(D.End) + "}";
+    Sink.event(S);
+  }
+}
+
+void emitMailbox(EventSink &Sink, const TraceRecorder &Rec) {
+  for (const MailboxEvent &E : Rec.mailboxEvents()) {
+    // Host-side transactions (doorbell, drain) land on the host track;
+    // worker-side ones (fetch, idle poll) on the core's track.
+    bool HostSide = E.Kind == MailboxEventKind::DoorbellWrite ||
+                    E.Kind == MailboxEventKind::MailboxDrained;
+    int Tid = HostSide ? HostTid : accelTid(E.AccelId);
+    std::string S = commonFields(mailboxEventKindName(E.Kind), "mailbox",
+                                 'i', Tid, E.Cycle);
+    S += ",\"s\":\"t\",\"args\":{\"accel\":" + std::to_string(E.AccelId);
+    S += ",\"block\":" + std::to_string(E.BlockId);
+    S += ",\"seq\":" + std::to_string(E.Seq);
+    S += ",\"detail\":" + std::to_string(E.Detail) + "}";
+    Sink.event(S);
+  }
+}
+
 void emitFaults(EventSink &Sink, const TraceRecorder &Rec) {
   for (const FaultEvent &F : Rec.faults()) {
     // Instant events on the afflicted core's track; host-side recovery
@@ -175,7 +209,10 @@ void trace::writeChromeTrace(OStream &OS, const TraceRecorder &Rec,
   EventSink Sink(OS);
   emitMetadata(Sink, Rec);
   emitBlocks(Sink, Rec, Opts);
+  emitDescriptors(Sink, Rec);
   emitFaults(Sink, Rec);
+  if (Opts.MailboxEvents)
+    emitMailbox(Sink, Rec);
   if (Opts.WaitSpans)
     emitWaits(Sink, Rec);
   if (Opts.DmaEvents)

@@ -36,6 +36,7 @@ struct ChromeTraceOptions {
   bool DmaEvents = true;  ///< Async events per DMA transfer.
   bool WaitSpans = true;  ///< dma_wait stalls as duration events.
   bool FlowArrows = true; ///< Launch-to-block flow arrows from the host.
+  bool MailboxEvents = true; ///< Doorbell/fetch/drain instants.
 };
 
 /// Writes the recorded timeline as Chrome trace-event JSON to \p OS.

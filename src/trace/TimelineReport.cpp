@@ -118,6 +118,30 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
   }
   OS << "\nhost direct accesses seen: " << Rec.hostAccesses() << "\n";
 
+  if (!Rec.descriptors().empty()) {
+    // The persistent-worker runtime was active: summarise mailbox
+    // dispatch so amortization is visible next to the block counts.
+    uint64_t Doorbells = 0, IdlePolls = 0, Drained = 0;
+    for (const MailboxEvent &E : Rec.mailboxEvents()) {
+      switch (E.Kind) {
+      case MailboxEventKind::DoorbellWrite:
+        ++Doorbells;
+        break;
+      case MailboxEventKind::IdlePoll:
+        ++IdlePolls;
+        break;
+      case MailboxEventKind::MailboxDrained:
+        Drained += E.Seq;
+        break;
+      case MailboxEventKind::DescriptorFetch:
+        break;
+      }
+    }
+    OS << "descriptors executed: " << Rec.descriptors().size()
+       << " (doorbells " << Doorbells << ", idle polls " << IdlePolls
+       << ", drained on death " << Drained << ")\n";
+  }
+
   if (!Rec.faults().empty()) {
     // Count per kind, printed in FaultKind order so the line is stable.
     constexpr unsigned NumKinds =

@@ -42,6 +42,14 @@ uint64_t TraceRecorder::busyCycles(unsigned AccelId) const {
   return Total;
 }
 
+uint64_t TraceRecorder::descriptorCycles(unsigned AccelId) const {
+  uint64_t Total = 0;
+  for (const DescriptorSpan &D : Descriptors)
+    if (D.AccelId == AccelId)
+      Total += D.cycles();
+  return Total;
+}
+
 uint64_t TraceRecorder::totalDmaBytes() const {
   uint64_t Total = 0;
   for (const DmaTransfer &T : Transfers)
@@ -54,6 +62,8 @@ void TraceRecorder::clear() {
   Waits.clear();
   Transfers.clear();
   FaultEvents.clear();
+  Descriptors.clear();
+  MailboxEvents.clear();
   std::fill(Accels.begin(), Accels.end(), AccelState());
   HostAccesses = 0;
   LastCycle = 0;
@@ -134,6 +144,26 @@ void TraceRecorder::onBlockBegin(unsigned AccelId, uint64_t BlockId,
 void TraceRecorder::onFault(const FaultEvent &Event) {
   note(Event.Cycle);
   FaultEvents.push_back(Event);
+}
+
+void TraceRecorder::onMailbox(const MailboxEvent &Event) {
+  note(Event.Cycle);
+  MailboxEvents.push_back(Event);
+}
+
+void TraceRecorder::onDescriptor(unsigned AccelId, uint64_t BlockId,
+                                 uint64_t Seq, uint32_t Begin, uint32_t End,
+                                 uint64_t StartCycle, uint64_t EndCycle) {
+  note(EndCycle);
+  DescriptorSpan Span;
+  Span.BlockId = BlockId;
+  Span.AccelId = AccelId;
+  Span.Seq = Seq;
+  Span.Begin = Begin;
+  Span.End = End;
+  Span.BeginCycle = StartCycle;
+  Span.EndCycle = EndCycle;
+  Descriptors.push_back(Span);
 }
 
 void TraceRecorder::onBlockEnd(unsigned AccelId, uint64_t BlockId,

@@ -47,6 +47,22 @@ struct OffloadSpan {
   uint64_t cycles() const { return EndCycle - BeginCycle; }
 };
 
+/// One work descriptor executed by a resident worker
+/// (offload/ResidentWorker.h): block BlockId on AccelId ran the index
+/// range [Begin, End) over [BeginCycle, EndCycle) — body time only;
+/// the fetch and idle-poll costs are in mailboxEvents().
+struct DescriptorSpan {
+  uint64_t BlockId = 0;
+  unsigned AccelId = 0;
+  uint64_t Seq = 0;
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  uint64_t BeginCycle = 0;
+  uint64_t EndCycle = 0;
+
+  uint64_t cycles() const { return EndCycle - BeginCycle; }
+};
+
 /// One dma_wait (waitTag/waitTagMask/waitAll) on an accelerator. The
 /// stall the cost model charged is EndCycle - BeginCycle (zero when the
 /// data had already landed).
@@ -85,6 +101,20 @@ public:
   /// seen while recording, in emission order.
   const std::vector<sim::FaultEvent> &faults() const { return FaultEvents; }
 
+  /// Work descriptors executed by resident workers, in execution order.
+  const std::vector<DescriptorSpan> &descriptors() const {
+    return Descriptors;
+  }
+
+  /// Mailbox transactions (doorbell writes, idle polls, descriptor
+  /// fetches, death drains) seen while recording, in emission order.
+  const std::vector<sim::MailboxEvent> &mailboxEvents() const {
+    return MailboxEvents;
+  }
+
+  /// Sum of descriptor body cycles recorded for \p AccelId.
+  uint64_t descriptorCycles(unsigned AccelId) const;
+
   /// Host-side direct main-memory touches seen while recording.
   uint64_t hostAccesses() const { return HostAccesses; }
 
@@ -115,6 +145,10 @@ public:
                     uint64_t LaunchCycle) override;
   void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
   void onFault(const sim::FaultEvent &Event) override;
+  void onMailbox(const sim::MailboxEvent &Event) override;
+  void onDescriptor(unsigned AccelId, uint64_t BlockId, uint64_t Seq,
+                    uint32_t Begin, uint32_t End, uint64_t StartCycle,
+                    uint64_t EndCycle) override;
 
 private:
   /// Per-accelerator attribution state.
@@ -133,6 +167,8 @@ private:
   std::vector<WaitSpan> Waits;
   std::vector<sim::DmaTransfer> Transfers;
   std::vector<sim::FaultEvent> FaultEvents;
+  std::vector<DescriptorSpan> Descriptors;
+  std::vector<sim::MailboxEvent> MailboxEvents;
   std::vector<AccelState> Accels;
   uint64_t HostAccesses = 0;
   uint64_t LastCycle = 0;

@@ -58,6 +58,9 @@ void expectCountersEqual(const PerfCounters &A, const PerfCounters &B) {
   EXPECT_EQ(A.AcceleratorsLost, B.AcceleratorsLost);
   EXPECT_EQ(A.FailoverChunks, B.FailoverChunks);
   EXPECT_EQ(A.HostFallbackChunks, B.HostFallbackChunks);
+  EXPECT_EQ(A.DescriptorsDispatched, B.DescriptorsDispatched);
+  EXPECT_EQ(A.DoorbellCycles, B.DoorbellCycles);
+  EXPECT_EQ(A.IdlePollCycles, B.IdlePollCycles);
 }
 
 GameWorldParams smallWorld() {

@@ -56,11 +56,7 @@ struct RunResult {
   uint64_t AcceleratorsLost = 0;
 };
 
-RunResult runFrames(const MachineConfig &Cfg) {
-  Machine M(Cfg);
-  GameWorld World(M, worldParams());
-  for (int F = 0; F != NumFrames; ++F)
-    World.doFrameOffloadAiParallel();
+RunResult collectResult(Machine &M, GameWorld &World) {
   RunResult R;
   R.Checksum = World.checksum();
   R.HostCycles = M.hostClock().now();
@@ -68,6 +64,33 @@ RunResult runFrames(const MachineConfig &Cfg) {
   for (unsigned I = 0; I != M.numAccelerators(); ++I)
     R.AcceleratorsLost += M.accel(I).Counters.AcceleratorsLost;
   return R;
+}
+
+RunResult runFrames(const MachineConfig &Cfg) {
+  Machine M(Cfg);
+  GameWorld World(M, worldParams());
+  for (int F = 0; F != NumFrames; ++F)
+    World.doFrameOffloadAiParallel();
+  return collectResult(M, World);
+}
+
+/// As runFrames, on the persistent-worker schedule. \p KillSeed != 0
+/// layers two scheduled deaths (one at a launch, one in the doorbell
+/// loop) over the random rates, so every instance exercises the
+/// mailbox-drain recovery path deterministically.
+RunResult runResidentFrames(const MachineConfig &Cfg, uint64_t KillSeed = 0) {
+  Machine M(Cfg);
+  if (KillSeed != 0 && M.faults()) {
+    SplitMix64 Rng(KillSeed);
+    M.faults()->scheduleKill(Rng.nextBelow(M.numAccelerators()),
+                             Rng.nextBelow(3));
+    M.faults()->scheduleChunkKill(Rng.nextBelow(M.numAccelerators()),
+                                  Rng.nextBelow(5));
+  }
+  GameWorld World(M, worldParams());
+  for (int F = 0; F != NumFrames; ++F)
+    World.doFrameOffloadAiResident();
+  return collectResult(M, World);
 }
 
 } // namespace
@@ -96,6 +119,37 @@ TEST_P(FaultRecoveryProperty, SameScheduleReplaysCycleForCycle) {
 
   RunResult First = runFrames(Faulty);
   RunResult Second = runFrames(Faulty);
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
+  EXPECT_EQ(First.LaunchFaults, Second.LaunchFaults);
+  EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
+}
+
+TEST_P(FaultRecoveryProperty, ResidentFramesMatchFaultFreeBitForBit) {
+  MachineConfig Clean = MachineConfig::cellLike();
+  MachineConfig Faulty = MachineConfig::cellLike();
+  Faulty.Faults = faultsFor(GetParam());
+
+  RunResult Reference = runResidentFrames(Clean);
+  RunResult Injected = runResidentFrames(Faulty, GetParam());
+
+  // Resident workers dying in their doorbell loops (including the
+  // scheduled mid-queue kills) must not change what was computed.
+  EXPECT_EQ(Injected.Checksum, Reference.Checksum)
+      << "seed " << GetParam();
+  EXPECT_GE(Injected.HostCycles, Reference.HostCycles);
+
+  // The mailbox schedule computes the same world as the block-per-core
+  // schedule it replaces.
+  EXPECT_EQ(Reference.Checksum, runFrames(Clean).Checksum);
+}
+
+TEST_P(FaultRecoveryProperty, ResidentScheduleReplaysCycleForCycle) {
+  MachineConfig Faulty = MachineConfig::cellLike();
+  Faulty.Faults = faultsFor(GetParam());
+
+  RunResult First = runResidentFrames(Faulty, GetParam());
+  RunResult Second = runResidentFrames(Faulty, GetParam());
   EXPECT_EQ(First.Checksum, Second.Checksum);
   EXPECT_EQ(First.HostCycles, Second.HostCycles);
   EXPECT_EQ(First.LaunchFaults, Second.LaunchFaults);

@@ -116,6 +116,23 @@ TEST(GameWorld, ParallelAiScheduleIsBitIdentical) {
   }
 }
 
+TEST(GameWorld, ResidentAiScheduleIsBitIdenticalAndAmortizesLaunches) {
+  Machine MParallel, MResident;
+  GameWorld Parallel(MParallel, smallWorld());
+  GameWorld Resident(MResident, smallWorld());
+  for (int Frame = 0; Frame != 3; ++Frame) {
+    Parallel.doFrameOffloadAiParallel();
+    FrameStats Stats = Resident.doFrameOffloadAiResident();
+    ASSERT_EQ(Parallel.checksum(), Resident.checksum())
+        << "divergence at frame " << Frame;
+    // Mailbox dispatch in action: more descriptors than workers, and
+    // every descriptor beyond the first per worker is a saved launch.
+    EXPECT_GT(Stats.AiDescriptors, MResident.numAccelerators());
+    EXPECT_EQ(Stats.AiLaunchesSaved,
+              Stats.AiDescriptors - MResident.numAccelerators());
+  }
+}
+
 TEST(GameWorld, ParallelAiShortensTheAiStage) {
   GameWorldParams Params = smallWorld();
   Params.NumEntities = 600; // Enough work to amortise launches.

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Summarise and diff omm-bench-v1 result files.
+
+Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+
+Usage:
+    tools/bench_summary.py RESULTS.json...
+        [--baseline DIR] [--counters NAME[,NAME...]]
+        [--require COUNTER OP VALUE]
+
+For each results file (the BENCH_<experiment>.json a bench binary
+writes), prints one row per benchmark: simulated cycles plus any
+requested counters. With --baseline DIR, looks for DIR/<experiment>.json
+(note: no BENCH_ prefix — the committed snapshots in BENCH_baseline/
+drop it so .gitignore's BENCH_*.json rule does not swallow them) and
+adds a delta column; the simulator is deterministic, so any nonzero
+delta is a real behaviour change, not noise.
+
+--require asserts a counter on every matching row (e.g.
+`--require speedup_vs_launch '>=' 2.0 --filter chunk_elems:1/`), making
+the script usable as a CI gate. Exit status: 0 clean, 1 malformed
+input, 2 a --require failed.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: {path}: {err}")
+    if data.get("schema") != "omm-bench-v1" or "benchmarks" not in data:
+        sys.exit(f"error: {path}: not an omm-bench-v1 results file")
+    return data
+
+
+def index_by_name(data):
+    return {b["name"]: b for b in data["benchmarks"]}
+
+
+OPS = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    "==": lambda a, b: a == b,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+", help="BENCH_*.json files")
+    ap.add_argument("--baseline", metavar="DIR",
+                    help="directory of committed <experiment>.json snapshots")
+    ap.add_argument("--counters", default="",
+                    help="comma-separated counter columns to print")
+    ap.add_argument("--filter", default="", metavar="REGEX",
+                    help="only rows whose name matches")
+    ap.add_argument("--require", nargs=3, action="append", default=[],
+                    metavar=("COUNTER", "OP", "VALUE"),
+                    help="assert COUNTER OP VALUE on every printed row")
+    args = ap.parse_args()
+
+    counters = [c for c in args.counters.split(",") if c]
+    name_re = re.compile(args.filter)
+    failures = 0
+
+    for path in args.results:
+        data = load(path)
+        experiment = data.get("experiment", "?")
+        base = {}
+        if args.baseline:
+            base_path = os.path.join(args.baseline, f"{experiment}.json")
+            if os.path.exists(base_path):
+                base = index_by_name(load(base_path))
+            else:
+                print(f"note: no baseline {base_path}; deltas skipped")
+
+        header = ["benchmark", "sim_cycles"] + counters
+        if base:
+            header += ["baseline", "delta"]
+        print(f"== {experiment} ({path}) ==")
+        print("  " + "  ".join(header))
+
+        for bench in data["benchmarks"]:
+            name = bench["name"]
+            if not name_re.search(name):
+                continue
+            cycles = bench["sim_cycles"]
+            row = [name, f"{cycles:.0f}"]
+            merged = dict(bench.get("counters", {}))
+            for c in counters:
+                row.append(f"{merged[c]:g}" if c in merged else "-")
+            if base:
+                ref = base.get(name)
+                if ref is None:
+                    row += ["-", "new"]
+                else:
+                    ref_cycles = ref["sim_cycles"]
+                    delta = (cycles / ref_cycles - 1.0) * 100 if ref_cycles \
+                        else 0.0
+                    row += [f"{ref_cycles:.0f}", f"{delta:+.2f}%"]
+            print("  " + "  ".join(row))
+
+            for counter, op, value in args.require:
+                if op not in OPS:
+                    sys.exit(f"error: unknown operator {op!r}")
+                have = merged.get(counter)
+                if have is None or not OPS[op](have, float(value)):
+                    print(f"REQUIRE FAILED: {name}: {counter}={have} "
+                          f"not {op} {value}", file=sys.stderr)
+                    failures += 1
+
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

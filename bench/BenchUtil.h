@@ -24,8 +24,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace omm::bench {
 
@@ -39,6 +41,32 @@ const std::string &traceOutputPath();
 inline void reportSimCycles(benchmark::State &State, uint64_t Cycles) {
   State.SetIterationTime(static_cast<double>(Cycles));
   State.counters["sim_cycles"] = static_cast<double>(Cycles);
+}
+
+/// Nearest-rank percentile over \p Samples (copied; the caller keeps
+/// its order). Empty input yields 0.
+inline uint64_t cyclePercentile(std::vector<uint64_t> Samples,
+                                double Percentile) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  double Rank = Percentile / 100.0 * static_cast<double>(Samples.size());
+  size_t Index = Rank <= 1.0 ? 0 : static_cast<size_t>(Rank + 0.999999) - 1;
+  return Samples[std::min(Index, Samples.size() - 1)];
+}
+
+/// Reports p50/p95/p99 cycle percentiles over per-repeat samples (e.g.
+/// one entry per simulated frame). Rows without repeats get identical
+/// percentiles synthesized from sim_cycles by BenchMain, so every
+/// BENCH_*.json row carries all three.
+inline void reportCyclePercentiles(benchmark::State &State,
+                                   const std::vector<uint64_t> &Samples) {
+  State.counters["p50_cycles"] =
+      static_cast<double>(cyclePercentile(Samples, 50.0));
+  State.counters["p95_cycles"] =
+      static_cast<double>(cyclePercentile(Samples, 95.0));
+  State.counters["p99_cycles"] =
+      static_cast<double>(cyclePercentile(Samples, 99.0));
 }
 
 /// Standard registration: one iteration (the simulator is

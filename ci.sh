@@ -9,9 +9,11 @@
 # Four stages, all must be green:
 #   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts
 #                    on), everything except the `soak` label
-#   2. bench smoke — a tiny E10 run: the bench aborts on any checksum
-#                    divergence, and bench_summary.py asserts the JSON
-#                    parses and the finest-chunk speedup holds
+#   2. bench smoke — tiny E10 + E11 runs: the benches abort on any
+#                    checksum divergence, and bench_summary.py asserts
+#                    the finest-chunk speedup floor (E10) and the p99
+#                    frame-cycle tail against the committed baseline
+#                    (E11)
 #   3. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
 #   4. soak        — the long randomised fault-injection endurance runs,
 #                    under the sanitizer build where their randomly
@@ -38,6 +40,17 @@ python3 tools/bench_summary.py build/bench/BENCH_e10_smoke.json \
 python3 tools/bench_summary.py build/bench/BENCH_e10_smoke.json \
     --filter 'PersistentWorkers/chunk_elems:1/' \
     --require speedup_vs_launch '>=' 2.0
+
+echo "=== bench smoke: watchdog deadlines (E11) ==="
+( cd build/bench && ./bench_e11_deadlines \
+      --json=BENCH_e11_smoke.json \
+      --benchmark_filter='straggler_pm:50/|HungWorkers' )
+python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
+    --baseline BENCH_baseline \
+    --counters p99_cycles,stragglers,spec_redispatches
+python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
+    --baseline BENCH_baseline \
+    --require p99_cycles '<=+5%' baseline
 
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON

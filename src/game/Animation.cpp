@@ -54,7 +54,13 @@ void AnimationSystem::blendPose(Pose &Current, const Pose &Key, float Rate) {
 
 void AnimationSystem::blendPassHost(uint32_t Frame,
                                     const AnimationParams &Params) {
-  for (uint32_t I = 0; I != Count; ++I) {
+  blendPassHost(Frame, Params, 0, Count);
+}
+
+void AnimationSystem::blendPassHost(uint32_t Frame,
+                                    const AnimationParams &Params,
+                                    uint32_t Begin, uint32_t End) {
+  for (uint32_t I = Begin; I != End; ++I) {
     GlobalAddr Addr = Base + uint64_t(I) * sizeof(Pose);
     Pose Current = M.hostRead<Pose>(Addr);
     blendPose(Current, keyPose(I, Frame), Params.BlendRate);

@@ -61,6 +61,12 @@ public:
   /// Host pass over all poses.
   void blendPassHost(uint32_t Frame, const AnimationParams &Params);
 
+  /// Host pass over poses [\p Begin, \p End) only — the graceful-
+  /// degradation path blends a prefix and lets the tail hold its last
+  /// pose for a frame (GameWorld's frame-budget shedding).
+  void blendPassHost(uint32_t Frame, const AnimationParams &Params,
+                     uint32_t Begin, uint32_t End);
+
   /// Offloaded pass: double-buffered stream over the pose array.
   void blendPassOffload(offload::OffloadContext &Ctx, uint32_t Frame,
                         const AnimationParams &Params,

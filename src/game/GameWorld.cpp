@@ -33,6 +33,48 @@ uint64_t GameWorld::checksum() const {
   return Hash ^ Anim.checksum();
 }
 
+uint32_t GameWorld::degradedAiEnd() const {
+  uint32_t Count = Entities.size();
+  if (Params.FrameBudgetCycles == 0 || DegradeLevel == 0)
+    return Count;
+  unsigned Level = std::min(DegradeLevel, MaxDegradeLevel);
+  return Count -
+         static_cast<uint32_t>(uint64_t(Count) * Level / ShedDenominator);
+}
+
+uint32_t GameWorld::degradedAnimEnd() const {
+  uint32_t Count = Anim.size();
+  if (Params.FrameBudgetCycles == 0 || DegradeLevel < ShedAnimFromLevel)
+    return Count;
+  unsigned Level =
+      std::min(DegradeLevel, MaxDegradeLevel) - (ShedAnimFromLevel - 1);
+  return Count -
+         static_cast<uint32_t>(uint64_t(Count) * Level / ShedDenominator);
+}
+
+void GameWorld::finishFrame(FrameStats &Stats, uint64_t FrameStart) {
+  ++Frame;
+  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  if (Params.FrameBudgetCycles == 0)
+    return;
+  if (Stats.FrameCycles > Params.FrameBudgetCycles) {
+    // Over budget: record the miss and shed more next frame. The shed
+    // work is not made up later — stale decisions and held poses are
+    // the degradation contract (DESIGN.md §8).
+    Stats.DeadlineMissed = true;
+    ++M.hostCounters().DeadlineMissedFrames;
+    M.emitFault({FaultKind::FrameDeadlineMissed, offload::NoAccelerator,
+                 /*BlockId=*/0, M.hostClock().now(), Stats.FrameCycles});
+    if (DegradeLevel < MaxDegradeLevel)
+      ++DegradeLevel;
+  } else if (DegradeLevel > 0 &&
+             Stats.FrameCycles * 5 <= Params.FrameBudgetCycles * 4) {
+    // Comfortably under (<= 80% of budget): restore quality one level
+    // at a time, with the 80% band as hysteresis against flapping.
+    --DegradeLevel;
+  }
+}
+
 void GameWorld::buildTargetSnapshot() {
   uint32_t Count = Entities.size();
   for (uint32_t I = 0; I != Count; ++I) {
@@ -121,7 +163,9 @@ void GameWorld::updateAndRender(FrameStats &Stats) {
                                    Params.Collision);
   PendingContacts.clear();
   physicsPassHost(Entities, Params.Dt, Params.Physics);
-  Anim.blendPassHost(Frame, Params.Animation);
+  uint32_t AnimEnd = degradedAnimEnd();
+  Stats.AnimEntitiesShed = Anim.size() - AnimEnd;
+  Anim.blendPassHost(Frame, Params.Animation, 0, AnimEnd);
   Stats.UpdateCycles = M.hostClock().now() - Start;
 
   // renderFrame: command submission cost on the host.
@@ -133,10 +177,12 @@ void GameWorld::updateAndRender(FrameStats &Stats) {
 FrameStats GameWorld::doFrameHostOnly() {
   FrameStats Stats;
   uint64_t FrameStart = M.hostClock().now();
+  uint32_t AiEnd = degradedAiEnd();
+  Stats.AiEntitiesShed = Entities.size() - AiEnd;
 
   uint64_t Start = M.hostClock().now();
   buildTargetSnapshot();
-  aiPassHost(0, Entities.size());
+  aiPassHost(0, AiEnd);
   Stats.AiCycles = M.hostClock().now() - Start;
 
   Start = M.hostClock().now();
@@ -145,14 +191,15 @@ FrameStats GameWorld::doFrameHostOnly() {
 
   updateAndRender(Stats);
 
-  ++Frame;
-  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  finishFrame(Stats, FrameStart);
   return Stats;
 }
 
 FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
   FrameStats Stats;
   uint64_t FrameStart = M.hostClock().now();
+  uint32_t AiCount = degradedAiEnd();
+  Stats.AiEntitiesShed = Entities.size() - AiCount;
 
   buildTargetSnapshot();
 
@@ -162,8 +209,7 @@ FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
   // next live core (or the host), so recovered frames compute
   // bit-identical state.
   unsigned NumAccels = M.numAccelerators();
-  unsigned Workers =
-      std::min({NumAccels, MaxAccelerators, Entities.size()});
+  unsigned Workers = std::min({NumAccels, MaxAccelerators, AiCount});
   offload::OffloadGroup Group;
   uint64_t LastFinish = FrameStart;
   uint64_t HostAiEnd = FrameStart;
@@ -174,11 +220,11 @@ FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
     ++M.hostCounters().HostFallbackChunks;
     M.emitFault({FaultKind::HostFallback, offload::NoAccelerator,
                  /*BlockId=*/0, M.hostClock().now(), /*Detail=*/0});
-    aiPassHost(0, Entities.size());
+    aiPassHost(0, AiCount);
     HostAiEnd = M.hostClock().now();
   }
-  uint32_t PerWorker = Workers != 0 ? Entities.size() / Workers : 0;
-  uint32_t Remainder = Workers != 0 ? Entities.size() % Workers : 0;
+  uint32_t PerWorker = Workers != 0 ? AiCount / Workers : 0;
+  uint32_t Remainder = Workers != 0 ? AiCount % Workers : 0;
   uint32_t Begin = 0;
   for (unsigned W = 0; W != Workers; ++W) {
     uint32_t End = Begin + PerWorker + (W < Remainder ? 1 : 0);
@@ -224,14 +270,15 @@ FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
   Group.joinAll(M);
   updateAndRender(Stats);
 
-  ++Frame;
-  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  finishFrame(Stats, FrameStart);
   return Stats;
 }
 
 FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
   FrameStats Stats;
   uint64_t FrameStart = M.hostClock().now();
+  uint32_t AiCount = degradedAiEnd();
+  Stats.AiEntitiesShed = Entities.size() - AiCount;
 
   buildTargetSnapshot();
 
@@ -246,7 +293,7 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
   Opts.MaxWorkers = MaxAccelerators;
   Opts.Adaptive = true;
   offload::JobRunStats Run = offload::distributeJobs(
-      M, Entities.size(), Opts,
+      M, AiCount, Opts,
       [&](auto &Ctx, uint32_t Begin, uint32_t End) {
         if constexpr (std::is_same_v<std::decay_t<decltype(Ctx)>,
                                      offload::OffloadContext>)
@@ -257,9 +304,13 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
   Stats.AiCycles = M.hostClock().now() - FrameStart;
   Stats.FailedBlocks = Run.FailedLaunches;
   Stats.FailoverSlices = Run.RequeuedChunks;
-  Stats.HostFallbackSlices = Run.HostChunks;
+  Stats.HostFallbackSlices = Run.HostChunks + Run.HostEscalations;
   Stats.AiDescriptors = static_cast<uint32_t>(Run.DescriptorsDispatched);
   Stats.AiLaunchesSaved = Run.LaunchesSaved;
+  Stats.AiHangs = Run.Hangs;
+  Stats.AiStragglers = Run.Stragglers;
+  Stats.AiSpeculative = Run.SpeculativeRedispatches;
+  Stats.AiCancels = Run.Cancels;
 
   uint64_t Start = M.hostClock().now();
   collisionPassHost(Stats);
@@ -267,20 +318,21 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
 
   updateAndRender(Stats);
 
-  ++Frame;
-  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  finishFrame(Stats, FrameStart);
   return Stats;
 }
 
 FrameStats GameWorld::doFrameOffloadAI(unsigned AccelId) {
   FrameStats Stats;
   uint64_t FrameStart = M.hostClock().now();
+  uint32_t AiEnd = degradedAiEnd();
+  Stats.AiEntitiesShed = Entities.size() - AiEnd;
 
   // The AI inputs are snapshotted before the offload launches.
   buildTargetSnapshot();
 
   auto AiBody = [&](offload::OffloadContext &Ctx) {
-    aiPassOffload(Ctx, 0, Entities.size());
+    aiPassOffload(Ctx, 0, AiEnd);
   };
 
   // __offload { this->calculateStrategy(...); } — with failover: a
@@ -312,7 +364,7 @@ FrameStats GameWorld::doFrameOffloadAI(unsigned AccelId) {
     ++M.hostCounters().HostFallbackChunks;
     M.emitFault({FaultKind::HostFallback, offload::NoAccelerator,
                  /*BlockId=*/0, M.hostClock().now(), /*Detail=*/0});
-    aiPassHost(0, Entities.size());
+    aiPassHost(0, AiEnd);
     Stats.AiCycles = M.hostClock().now() - FrameStart;
   } else {
     Stats.AiCycles = Handle.completeAt() - FrameStart;
@@ -329,7 +381,6 @@ FrameStats GameWorld::doFrameOffloadAI(unsigned AccelId) {
 
   updateAndRender(Stats);
 
-  ++Frame;
-  Stats.FrameCycles = M.hostClock().now() - FrameStart;
+  finishFrame(Stats, FrameStart);
   return Stats;
 }

@@ -53,6 +53,11 @@ struct GameWorldParams {
   /// the current one (the Balart-style async cache elaboration;
   /// ablation E8).
   bool PrefetchAiTargets = false;
+  /// Frame cycle budget for the graceful-degradation policy; 0 means
+  /// no budget (never shed, never count a missed deadline). A frame
+  /// over budget raises the degradation level for following frames;
+  /// a frame comfortably under (<= 80% of budget) lowers it.
+  uint64_t FrameBudgetCycles = 0;
 };
 
 /// Timing breakdown of one frame (simulated cycles).
@@ -72,6 +77,19 @@ struct FrameStats {
   /// launch-per-block schedules).
   uint32_t AiDescriptors = 0;   ///< Work descriptors the AI pass used.
   uint64_t AiLaunchesSaved = 0; ///< Launches the mailboxes amortized away.
+  /// Timing-fault recovery work this frame (resident schedule).
+  uint32_t AiHangs = 0;        ///< Workers wedged and abandoned.
+  uint32_t AiStragglers = 0;   ///< Chunks past their deadline.
+  uint32_t AiSpeculative = 0;  ///< Backup copies raced.
+  uint32_t AiCancels = 0;      ///< Cooperative cancels raised.
+  /// Graceful degradation: what this frame shed to claw back budget
+  /// (lowest-priority == highest-index entities hold last frame's
+  /// decision/pose).
+  uint32_t AiEntitiesShed = 0;
+  uint32_t AnimEntitiesShed = 0;
+  /// True when the frame exceeded GameWorldParams::FrameBudgetCycles
+  /// (raises the degradation level for the frames after it).
+  bool DeadlineMissed = false;
 };
 
 /// The game world: entities, poses, and the fixed frame schedule.
@@ -116,7 +134,31 @@ public:
 
   uint32_t frameIndex() const { return Frame; }
 
+  /// Current graceful-degradation level (0 = full quality). Each level
+  /// sheds one eighth of the AI pass from the top of the entity range;
+  /// levels past ShedAnimFromLevel shed animation too.
+  unsigned degradeLevel() const { return DegradeLevel; }
+
 private:
+  /// Degradation shed granularity: 1/ShedDenominator of the entity
+  /// range per level, capped at MaxDegradeLevel (half the AI pass).
+  static constexpr unsigned ShedDenominator = 8;
+  static constexpr unsigned MaxDegradeLevel = 4;
+  /// Animation is shed only at the deepest levels — AI decisions go
+  /// stale more gracefully than poses freeze.
+  static constexpr unsigned ShedAnimFromLevel = 3;
+
+  /// End of the AI pass under the current degradation level: the
+  /// highest-index (lowest-priority) entities are shed first.
+  uint32_t degradedAiEnd() const;
+
+  /// End of the animation blend under the current degradation level.
+  uint32_t degradedAnimEnd() const;
+
+  /// Frame epilogue shared by every schedule: stamps FrameCycles,
+  /// advances the frame index, and applies the budget policy (count
+  /// and report a missed deadline, adjust the degradation level).
+  void finishFrame(FrameStats &Stats, uint64_t FrameStart);
   /// Builds the per-frame TargetInfo snapshot on the host (both
   /// schedules run this as the first step of the AI stage).
   void buildTargetSnapshot();
@@ -143,6 +185,8 @@ private:
   EntityStore Entities;
   AnimationSystem Anim;
   uint32_t Frame = 0;
+  /// Graceful-degradation level carried across frames (see above).
+  unsigned DegradeLevel = 0;
   /// Per-frame immutable target snapshot (TargetInfo per entity).
   sim::GlobalAddr Snapshot;
   /// Contacts detected this frame, resolved in updateEntities.

@@ -88,6 +88,16 @@ struct JobRunStats {
   /// descriptors dispatched minus launches paid. The launch-per-chunk
   /// runtime this replaced had this pinned at zero by construction.
   uint64_t LaunchesSaved = 0;
+  /// Workers that wedged mid-chunk and were abandoned by the watchdog.
+  uint32_t Hangs = 0;
+  /// Chunks that missed their deadline (injected or genuinely slow).
+  uint32_t Stragglers = 0;
+  /// Backup copies raced against stragglers (DeadlinePolicy::Speculate).
+  uint32_t SpeculativeRedispatches = 0;
+  /// Cooperative cancels raised during the run.
+  uint32_t Cancels = 0;
+  /// Straggling chunks the host took because no other worker was alive.
+  uint32_t HostEscalations = 0;
 
   /// max/mean busy ratio; 1.0 = perfectly balanced.
   double imbalance() const {
@@ -174,6 +184,11 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   Stats.RequeuedChunks = PS.RequeuedDescriptors;
   Stats.DescriptorsDispatched = PS.DescriptorsDispatched;
   Stats.LaunchesSaved = PS.launchesSaved();
+  Stats.Hangs = PS.HungWorkers;
+  Stats.Stragglers = PS.StragglerDescriptors;
+  Stats.SpeculativeRedispatches = PS.SpeculativeCopies;
+  Stats.Cancels = PS.Cancels;
+  Stats.HostEscalations = PS.HostEscalations;
   return Stats;
 }
 

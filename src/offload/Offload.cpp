@@ -29,6 +29,8 @@ const char *offload::toString(OffloadStatus Status) {
     return "local_store_exhausted";
   case OffloadStatus::NoAcceleratorAvailable:
     return "no_accelerator_available";
+  case OffloadStatus::DeadlineExceeded:
+    return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -89,4 +91,55 @@ offload::OffloadHandle offload::detail::failedHandle(Machine &M,
   uint64_t DetectAt =
       M.hostClock().now() + M.config().Faults.FaultDetectCycles;
   return OffloadHandle(AccelId, BlockId, DetectAt, Status);
+}
+
+offload::OffloadHandle offload::detail::hungLaunch(Machine &M,
+                                                   unsigned AccelId,
+                                                   uint64_t BlockId) {
+  const WatchdogTimer &WD = M.watchdog();
+  if (!WD.armsLaunches())
+    reportFatalError("offload: kernel hang injected with no launch "
+                     "deadline armed; nothing can ever complete the work "
+                     "(set MachineConfig::LaunchDeadlineCycles)");
+  Accelerator &Accel = M.accel(AccelId);
+  uint64_t Start = std::max(Accel.FreeAt, M.hostClock().now()) +
+                   M.config().OffloadLaunchCycles;
+  // The watchdog's sweep sees the miss at the first check after the
+  // deadline. The cancel it raises is never observed — the core is
+  // wedged — so the core is abandoned like a died one; the body never
+  // ran, and the caller's re-issue loop recovers the work.
+  uint64_t DetectAt = WD.detectionCycle(Start + WD.launchDeadline());
+  Accel.Clock.resetTo(DetectAt);
+  Accel.FreeAt = DetectAt;
+  ++M.hostCounters().LaunchFaults;
+  ++M.hostCounters().HangsDetected;
+  ++M.hostCounters().CancelsIssued;
+  M.emitFault({FaultKind::KernelHang, AccelId, BlockId, DetectAt,
+               /*Detail=*/WD.launchDeadline()});
+  M.emitFault({FaultKind::CancelIssued, AccelId, BlockId, DetectAt,
+               /*Detail=*/DetectAt});
+  M.killAccelerator(AccelId, BlockId);
+  return OffloadHandle(AccelId, BlockId, DetectAt,
+                       OffloadStatus::DeadlineExceeded);
+}
+
+uint64_t offload::detail::finishLaunchTiming(Machine &M, unsigned AccelId,
+                                             uint64_t BlockId,
+                                             uint64_t BodyStart,
+                                             uint64_t BodyEnd,
+                                             float Slowdown) {
+  uint64_t SlowEnd = BodyEnd;
+  if (Slowdown > 1.0f) {
+    uint64_t Cost = BodyEnd - BodyStart;
+    SlowEnd += static_cast<uint64_t>(static_cast<double>(Cost) *
+                                     (static_cast<double>(Slowdown) - 1.0));
+  }
+  const WatchdogTimer &WD = M.watchdog();
+  if (WD.armsLaunches() && SlowEnd - BodyStart > WD.launchDeadline()) {
+    ++M.hostCounters().StragglersDetected;
+    M.emitFault({FaultKind::StragglerDetected, AccelId, BlockId,
+                 WD.detectionCycle(BodyStart + WD.launchDeadline()),
+                 /*Detail=*/SlowEnd - BodyStart});
+  }
+  return SlowEnd;
 }

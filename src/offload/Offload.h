@@ -67,6 +67,8 @@ enum class OffloadStatus : uint8_t {
   AcceleratorDead,       ///< The target core is (or just died) dead.
   LocalStoreExhausted,   ///< The block arena could not be reserved.
   NoAcceleratorAvailable,///< Auto-pick found no live core.
+  DeadlineExceeded,      ///< The block hung; the watchdog cancelled it
+                         ///< and abandoned the core. Re-issue the work.
 };
 
 /// \returns a stable name for \p Status (diagnostics and reports).
@@ -93,6 +95,33 @@ OffloadStatus classifyLaunch(sim::Machine &M, unsigned AccelId,
 /// (FaultDetectCycles after the launch).
 OffloadHandle failedHandle(sim::Machine &M, unsigned AccelId,
                            uint64_t BlockId, OffloadStatus Status);
+
+/// Handles a launch the injector wedged forever: fatal unless the
+/// watchdog arms launch deadlines; otherwise the hang is detected at
+/// the watchdog sweep after the deadline, the block cancelled (the
+/// cancel is never observed — the core is wedged) and the core
+/// abandoned. \returns a joinable DeadlineExceeded handle completing at
+/// the detection cycle, so callers' existing re-issue loops recover.
+OffloadHandle hungLaunch(sim::Machine &M, unsigned AccelId,
+                         uint64_t BlockId);
+
+/// Applies a straggler verdict to a completed block: the body ran once
+/// for real in [\p BodyStart, \p BodyEnd]; the slowdown appends a stall
+/// after it. \returns the slowed completion cycle (== \p BodyEnd when
+/// \p Slowdown <= 1), after bumping counters/events for a detected
+/// miss when the watchdog arms launch deadlines.
+uint64_t finishLaunchTiming(sim::Machine &M, unsigned AccelId,
+                            uint64_t BlockId, uint64_t BodyStart,
+                            uint64_t BodyEnd, float Slowdown);
+
+/// \returns \p Value rounded up to the next multiple of \p Quantum
+/// (any quantum, unlike alignTo; 0 quantizes nothing).
+inline uint64_t roundUpToQuantum(uint64_t Value, uint64_t Quantum) {
+  if (Quantum == 0)
+    return Value;
+  uint64_t Rem = Value % Quantum;
+  return Rem == 0 ? Value : Value + (Quantum - Rem);
+}
 } // namespace detail
 
 /// Result of launching an offload block; pass to offloadJoin.
@@ -107,8 +136,8 @@ public:
 
   OffloadHandle(OffloadHandle &&Other) noexcept
       : AccelId(Other.AccelId), BlockId(Other.BlockId),
-        CompleteAt(Other.CompleteAt), Status(Other.Status),
-        Joinable(Other.Joinable) {
+        CompleteAt(Other.CompleteAt), CancelFloorAt(Other.CancelFloorAt),
+        Status(Other.Status), Joinable(Other.Joinable) {
     Other.Joinable = false;
   }
 
@@ -118,6 +147,7 @@ public:
       AccelId = Other.AccelId;
       BlockId = Other.BlockId;
       CompleteAt = Other.CompleteAt;
+      CancelFloorAt = Other.CancelFloorAt;
       Status = Other.Status;
       Joinable = Other.Joinable;
       Other.Joinable = false;
@@ -149,11 +179,33 @@ public:
   /// True until offloadJoin consumes the handle (or it is moved from).
   bool joinable() const { return Joinable; }
 
+  /// Raises a cooperative cancel against a still-running block. The
+  /// worker observes the request at its next cancel-poll boundary, but
+  /// never before the body's real work is done (results are already in
+  /// memory; cancellation only trims the block's trailing stall, so it
+  /// frees the core earlier without changing what was computed). No-op
+  /// on a joined, failed, or already-complete block.
+  void requestCancel(sim::Machine &M) {
+    if (!Joinable || Status != OffloadStatus::Ok)
+      return;
+    uint64_t SeenAt = detail::roundUpToQuantum(M.hostClock().now(),
+                                               M.config().CancelPollCycles);
+    uint64_t NewComplete =
+        std::min(CompleteAt, std::max(CancelFloorAt, SeenAt));
+    if (NewComplete >= CompleteAt)
+      return;
+    CompleteAt = NewComplete;
+    M.accel(AccelId).FreeAt = NewComplete;
+    ++M.hostCounters().CancelsIssued;
+    M.emitFault({sim::FaultKind::CancelIssued, AccelId, BlockId,
+                 M.hostClock().now(), /*Detail=*/NewComplete});
+  }
+
 private:
   OffloadHandle(unsigned AccelId, uint64_t BlockId, uint64_t CompleteAt,
                 OffloadStatus Status = OffloadStatus::Ok)
       : AccelId(AccelId), BlockId(BlockId), CompleteAt(CompleteAt),
-        Status(Status), Joinable(true) {}
+        CancelFloorAt(CompleteAt), Status(Status), Joinable(true) {}
 
   void warnIfLeaked() {
 #ifndef NDEBUG
@@ -171,10 +223,15 @@ private:
                                             unsigned AccelId,
                                             uint64_t BlockId,
                                             OffloadStatus Status);
+  friend OffloadHandle detail::hungLaunch(sim::Machine &M, unsigned AccelId,
+                                          uint64_t BlockId);
 
   unsigned AccelId = 0;
   uint64_t BlockId = 0;
   uint64_t CompleteAt = 0;
+  /// Earliest cycle a cancel can retire the block: the end of its real
+  /// work. Cancellation never rewinds below it (exactly-once results).
+  uint64_t CancelFloorAt = 0;
   OffloadStatus Status = OffloadStatus::Ok;
   bool Joinable = false;
 };
@@ -220,9 +277,20 @@ OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
       Fault != OffloadStatus::Ok)
     return detail::failedHandle(M, AccelId, BlockId, Fault);
 
+  // Timing faults are decided at the same boundary: a hang wedges the
+  // core before the body (which therefore never runs and is safe to
+  // re-issue); a straggler lets the body run once for real and appends
+  // its slowdown as a trailing stall afterwards.
+  sim::TimingFault Timing;
+  if (sim::FaultInjector *FI = M.faults())
+    Timing = FI->classifyTiming(AccelId);
+  if (Timing.Hangs)
+    return detail::hungLaunch(M, AccelId, BlockId);
+
   sim::Accelerator &Accel = M.accel(AccelId);
   Accel.Clock.resetTo(std::max(Accel.FreeAt, LaunchTime) +
                       Cfg.OffloadLaunchCycles);
+  uint64_t BodyStart = Accel.Clock.now();
 
   sim::LocalStore::Mark Mark = Accel.Store.mark();
   {
@@ -235,9 +303,15 @@ OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
     Accel.Dma.waitAll();
   }
   Accel.Store.reset(Mark);
-  Accel.FreeAt = Accel.Clock.now();
+  uint64_t BodyEnd = Accel.Clock.now();
+  uint64_t SlowEnd = detail::finishLaunchTiming(M, AccelId, BlockId,
+                                                BodyStart, BodyEnd,
+                                                Timing.Slowdown);
+  Accel.FreeAt = SlowEnd;
 
-  return OffloadHandle(AccelId, BlockId, Accel.FreeAt);
+  OffloadHandle Handle(AccelId, BlockId, SlowEnd);
+  Handle.CancelFloorAt = BodyEnd;
+  return Handle;
 }
 
 /// As above, with the runtime choosing the least-busy live accelerator.
@@ -302,6 +376,15 @@ public:
     }
     Handles.clear();
     return Worst;
+  }
+
+  /// Raises a cooperative cancel against every still-pending block (the
+  /// frame gave up on this batch — e.g. its budget expired). Results
+  /// are unaffected; each block retires at its cancel-poll boundary
+  /// instead of running out its stall. joinAll still must be called.
+  void cancelAll(sim::Machine &M) {
+    for (OffloadHandle &Handle : Handles)
+      Handle.requestCancel(M);
   }
 
   unsigned pendingCount() const {

@@ -50,6 +50,14 @@ struct ParallelForStats {
   /// fault-free one-slice-per-worker split, positive when failover
   /// funnels several slices through one worker).
   uint64_t LaunchesSaved = 0;
+  /// Workers that wedged mid-slice and were abandoned by the watchdog.
+  unsigned Hangs = 0;
+  /// Slices that missed their chunk deadline (injected or genuine).
+  unsigned Stragglers = 0;
+  /// Backup copies raced against stragglers (DeadlinePolicy::Speculate).
+  unsigned SpeculativeRedispatches = 0;
+  /// Cooperative cancels raised during the region.
+  unsigned Cancels = 0;
   /// Worst launch outcome observed while opening the worker pool.
   OffloadStatus Status = OffloadStatus::Ok;
 };
@@ -149,6 +157,11 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
   Stats.LaunchFaults = PS.FailedLaunches;
   Stats.FailoverSlices = PS.FailoverDescriptors;
   Stats.LaunchesSaved = PS.launchesSaved();
+  Stats.Hangs = PS.HungWorkers;
+  Stats.Stragglers = PS.StragglerDescriptors;
+  Stats.SpeculativeRedispatches = PS.SpeculativeCopies;
+  Stats.Cancels = PS.Cancels;
+  Stats.HostSlices += PS.HostEscalations;
   Stats.Status = PS.WorstLaunchStatus;
   return Stats;
 }

@@ -15,7 +15,7 @@ using namespace omm;
 using namespace omm::offload;
 
 ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
-    : M(M), Faults(M.faults()) {
+    : M(M), Faults(M.faults()), DeadlinesArmed(M.watchdog().armsChunks()) {
   const sim::MachineConfig &Cfg = M.config();
   unsigned Budget = std::min(M.numAccelerators(), MaxWorkers);
   FrameStart = M.hostClock().now();
@@ -142,6 +142,189 @@ void ResidentWorkerPool::buryWorker(unsigned W,
   M.killAccelerator(Wk.AccelId, Wk.BlockId);
   closeWorker(Wk);
   Live.erase(Live.begin() + W);
+}
+
+void ResidentWorkerPool::hangWorker(unsigned W,
+                                    const sim::WorkDescriptor &Popped,
+                                    std::vector<sim::WorkDescriptor> &Orphans) {
+  const sim::WatchdogTimer &WD = M.watchdog();
+  if (!WD.armsChunks())
+    reportFatalError("resident pool: kernel hang injected with no chunk "
+                     "deadline armed; nothing can ever complete the work "
+                     "(set MachineConfig::ChunkDeadlineCycles)");
+  Worker &Wk = Live[W];
+  sim::Accelerator &Accel = M.accel(Wk.AccelId);
+  // The wedged worker makes no progress; the watchdog's sweep flags the
+  // descriptor at the first check after its deadline. The cancel is
+  // raised but never observed, so the core is abandoned and the
+  // descriptor (plus the backlog) drains back through the death path.
+  uint64_t DetectAt =
+      WD.detectionCycle(Accel.Clock.now() + WD.chunkDeadline());
+  Accel.Clock.advanceTo(DetectAt);
+  ++PS.HungWorkers;
+  ++PS.Cancels;
+  ++M.hostCounters().HangsDetected;
+  ++M.hostCounters().CancelsIssued;
+  M.emitFault({sim::FaultKind::KernelHang, Wk.AccelId, Wk.BlockId, DetectAt,
+               Popped.Begin});
+  M.emitFault({sim::FaultKind::CancelIssued, Wk.AccelId, Wk.BlockId,
+               DetectAt, /*Detail=*/DetectAt});
+  buryWorker(W, Popped, Orphans);
+}
+
+unsigned ResidentWorkerPool::pickCopyWorker(unsigned Excluding) const {
+  unsigned Best = NoWorker;
+  for (unsigned W = 0; W != Live.size(); ++W) {
+    if (W == Excluding)
+      continue;
+    if (Best == NoWorker) {
+      Best = W;
+      continue;
+    }
+    uint64_t BestClock = M.accel(Live[Best].AccelId).Clock.now();
+    uint64_t Clock = M.accel(Live[W].AccelId).Clock.now();
+    if (Clock < BestClock ||
+        (Clock == BestClock &&
+         (Live[W].Executed < Live[Best].Executed ||
+          (Live[W].Executed == Live[Best].Executed &&
+           Live[W].AccelId < Live[Best].AccelId))))
+      Best = W;
+  }
+  return Best;
+}
+
+void ResidentWorkerPool::finishDescriptor(unsigned W,
+                                          const sim::WorkDescriptor &Desc,
+                                          uint64_t Start,
+                                          uint64_t UnslowedEnd,
+                                          float Slowdown) {
+  const sim::MachineConfig &Cfg = M.config();
+  const sim::WatchdogTimer &WD = M.watchdog();
+  Worker &Wk = Live[W];
+  sim::Accelerator &Accel = M.accel(Wk.AccelId);
+  uint64_t Cost = UnslowedEnd - Start;
+  uint64_t Stall = 0;
+  if (Slowdown > 1.0f)
+    Stall = static_cast<uint64_t>(static_cast<double>(Cost) *
+                                  (static_cast<double>(Slowdown) - 1.0));
+  uint64_t SlowEnd = UnslowedEnd + Stall;
+  // The deadline applies to every descriptor when armed — the watchdog
+  // cannot tell an injected straggler from genuinely slow work.
+  if (!DeadlinesArmed || SlowEnd - Start <= WD.chunkDeadline()) {
+    Accel.Clock.advanceTo(SlowEnd);
+    return;
+  }
+
+  uint64_t DetectAt = WD.detectionCycle(Start + WD.chunkDeadline());
+  ++PS.StragglerDescriptors;
+  ++M.hostCounters().StragglersDetected;
+  M.emitFault({sim::FaultKind::StragglerDetected, Wk.AccelId, Wk.BlockId,
+               DetectAt, /*Detail=*/SlowEnd - Start});
+
+  // Cancellation can only trim the trailing stall: the body's real work
+  // is done and its results are in memory, so the victim never retires
+  // before UnslowedEnd, and the observation is quantized to the
+  // worker's cancel-poll boundary.
+  auto CancelVictimAt = [&](uint64_t RaisedAt) {
+    uint64_t SeenAt =
+        detail::roundUpToQuantum(RaisedAt, Cfg.CancelPollCycles);
+    uint64_t VictimEnd =
+        std::min(SlowEnd, std::max(UnslowedEnd, SeenAt));
+    ++PS.Cancels;
+    ++M.hostCounters().CancelsIssued;
+    M.emitFault({sim::FaultKind::CancelIssued, Wk.AccelId, Wk.BlockId,
+                 RaisedAt, /*Detail=*/VictimEnd});
+    Accel.Clock.advanceTo(VictimEnd);
+  };
+
+  // The recovery copy never re-executes the body — the chunk already
+  // ran exactly once. It charges the chunk's real cost (plus the
+  // descriptor fetch) on the copy worker, modelling the re-run the real
+  // runtime would perform, without perturbing results.
+  auto RunCopyOn = [&](unsigned W2) -> uint64_t {
+    Worker &Copy = Live[W2];
+    sim::Accelerator &Accel2 = M.accel(Copy.AccelId);
+    uint64_t CopyStart = std::max(Accel2.Clock.now(), DetectAt);
+    uint64_t CopyFinish =
+        CopyStart + Cfg.MailboxDescriptorCycles + Cost;
+    Accel2.Clock.advanceTo(CopyFinish);
+    PS.BusyCycles[Copy.StatIndex] += Cost;
+    ++PS.Chunks[Copy.StatIndex];
+    ++Copy.Executed;
+    ++PS.RequeuedDescriptors;
+    ++M.hostCounters().FailoverChunks;
+    M.emitFault({sim::FaultKind::ChunkRequeued, Copy.AccelId, Copy.BlockId,
+                 CopyStart, Desc.Begin});
+    if (sim::DmaObserver *Obs = M.observer())
+      Obs->onDescriptor(Copy.AccelId, Copy.BlockId, Desc.Seq, Desc.Begin,
+                        Desc.End, CopyStart + Cfg.MailboxDescriptorCycles,
+                        CopyFinish);
+    return CopyFinish;
+  };
+
+  // All workers straggling at once leaves nobody to copy onto: the
+  // host takes the chunk itself (FastFlow-style self-offloading).
+  auto EscalateToHost = [&] {
+    CancelVictimAt(DetectAt);
+    M.hostClock().advanceTo(DetectAt);
+    M.hostClock().advance(Cost);
+    ++PS.HostEscalations;
+    ++M.hostCounters().HostFallbackChunks;
+    M.emitFault({sim::FaultKind::HostFallback, NoAccelerator, Wk.BlockId,
+                 M.hostClock().now(), Desc.Begin});
+  };
+
+  switch (Cfg.DeadlineRecovery) {
+  case sim::DeadlinePolicy::None:
+    // Detect and count only; the straggler runs out its stall.
+    Accel.Clock.advanceTo(SlowEnd);
+    return;
+  case sim::DeadlinePolicy::CancelRestart: {
+    unsigned W2 = pickCopyWorker(W);
+    if (W2 == NoWorker)
+      return EscalateToHost();
+    // Cancel first, restart from scratch on the copy worker: always
+    // discards the victim's (nearly done) progress, which is exactly
+    // why this policy loses to speculation at small slowdowns.
+    CancelVictimAt(DetectAt);
+    RunCopyOn(W2);
+    return;
+  }
+  case sim::DeadlinePolicy::Speculate: {
+    unsigned W2 = pickCopyWorker(W);
+    if (W2 == NoWorker)
+      return EscalateToHost();
+    ++PS.SpeculativeCopies;
+    ++M.hostCounters().SpeculativeRedispatches;
+    M.emitFault({sim::FaultKind::SpeculativeRedispatch, Live[W2].AccelId,
+                 Live[W2].BlockId, DetectAt, Desc.Begin});
+    Worker &Copy = Live[W2];
+    sim::Accelerator &Accel2 = M.accel(Copy.AccelId);
+    uint64_t CopyStart = std::max(Accel2.Clock.now(), DetectAt);
+    uint64_t CopyFinish =
+        CopyStart + Cfg.MailboxDescriptorCycles + Cost;
+    if (CopyFinish < SlowEnd) {
+      // The copy wins the race; the straggler is cancelled as soon as
+      // it can observe the result landing.
+      RunCopyOn(W2);
+      CancelVictimAt(CopyFinish);
+    } else {
+      // The straggler finishes first; the backup copy is cancelled at
+      // its own poll boundary and charged only the cycles it burned.
+      uint64_t CopyEnd = std::min(
+          CopyFinish,
+          std::max(CopyStart, detail::roundUpToQuantum(
+                                  SlowEnd, Cfg.CancelPollCycles)));
+      Accel2.Clock.advanceTo(CopyEnd);
+      ++PS.Cancels;
+      ++M.hostCounters().CancelsIssued;
+      M.emitFault({sim::FaultKind::CancelIssued, Copy.AccelId, Copy.BlockId,
+                   SlowEnd, /*Detail=*/CopyEnd});
+      Accel.Clock.advanceTo(SlowEnd);
+    }
+    return;
+  }
+  }
 }
 
 void ResidentWorkerPool::close() {

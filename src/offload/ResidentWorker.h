@@ -67,6 +67,19 @@ struct ResidentPoolStats {
   uint32_t FailoverDescriptors = 0;
   /// Doorbell pushes, including re-dispatch of requeued descriptors.
   uint64_t DescriptorsDispatched = 0;
+  /// Workers that wedged mid-descriptor and were abandoned by the
+  /// watchdog (a subset of DeadWorkers).
+  uint32_t HungWorkers = 0;
+  /// Descriptors that missed their chunk deadline (injected stragglers
+  /// and genuinely slow chunks alike; the watchdog cannot tell).
+  uint32_t StragglerDescriptors = 0;
+  /// Backup copies raced against stragglers (DeadlinePolicy::Speculate).
+  uint32_t SpeculativeCopies = 0;
+  /// Cooperative cancels raised against this pool's workers.
+  uint32_t Cancels = 0;
+  /// Straggling descriptors escalated to the host because no other
+  /// worker was alive to take the copy.
+  uint32_t HostEscalations = 0;
 
   /// Descriptors minus launches: how many per-chunk launches the
   /// resident runtime amortized away (0 when nothing was dispatched,
@@ -138,6 +151,16 @@ public:
       buryWorker(W, Desc, Orphans);
       return false;
     }
+    // Timing verdict at the same pop boundary: a hang wedges the worker
+    // before the body runs (so re-dispatch is exactly-once by
+    // construction); a straggler's slowdown lands after the real work.
+    sim::TimingFault Timing;
+    if (Faults)
+      Timing = Faults->classifyTiming(Wk.AccelId);
+    if (Timing.Hangs) {
+      hangWorker(W, Desc, Orphans);
+      return false;
+    }
     if (Desc.Home != sim::WorkDescriptor::NoHome &&
         Desc.Home != Wk.AccelId) {
       ++PS.FailoverDescriptors;
@@ -157,6 +180,8 @@ public:
     if (sim::DmaObserver *Obs = M.observer())
       Obs->onDescriptor(Wk.AccelId, Wk.BlockId, Desc.Seq, Desc.Begin,
                         Desc.End, Start, End);
+    if (Timing.Slowdown > 1.0f || DeadlinesArmed)
+      finishDescriptor(W, Desc, Start, End, Timing.Slowdown);
     return true;
   }
 
@@ -189,6 +214,27 @@ private:
   void buryWorker(unsigned W, const sim::WorkDescriptor &Popped,
                   std::vector<sim::WorkDescriptor> &Orphans);
 
+  /// The hang path: the worker wedged before running \p Popped. Fatal
+  /// unless chunk deadlines are armed; otherwise the watchdog detects
+  /// the miss, cancels the worker (never observed — it is wedged) and
+  /// buries it like a died one, orphaning \p Popped plus the backlog.
+  void hangWorker(unsigned W, const sim::WorkDescriptor &Popped,
+                  std::vector<sim::WorkDescriptor> &Orphans);
+
+  /// Applies worker \p W's straggler slowdown / chunk deadline to a
+  /// descriptor whose body ran in [\p Start, \p UnslowedEnd]: appends
+  /// the slowdown stall, and on a deadline miss applies the configured
+  /// DeadlinePolicy (cancel+restart copy, speculative race, or host
+  /// escalation when the pool has no second worker). Recovery is
+  /// time-only — the results are already in memory.
+  void finishDescriptor(unsigned W, const sim::WorkDescriptor &Desc,
+                        uint64_t Start, uint64_t UnslowedEnd,
+                        float Slowdown);
+
+  /// The deterministic (clock, executed, id) pick excluding worker
+  /// \p Excluding; NoWorker when no other worker is alive.
+  unsigned pickCopyWorker(unsigned Excluding) const;
+
   sim::Machine &M;
   sim::FaultInjector *Faults;
   std::vector<Worker> Live;
@@ -196,6 +242,9 @@ private:
   uint64_t FrameStart = 0;
   uint64_t FrameEnd = 0;
   bool Closed = false;
+  /// Cached watchdog().armsChunks(); keeps the fault-free fast path in
+  /// executeNext to one boolean test.
+  bool DeadlinesArmed = false;
 };
 
 } // namespace omm::offload

@@ -34,6 +34,16 @@ const char *sim::faultKindName(FaultKind Kind) {
     return "chunk_requeued";
   case FaultKind::HostFallback:
     return "host_fallback";
+  case FaultKind::KernelHang:
+    return "kernel_hang";
+  case FaultKind::StragglerDetected:
+    return "straggler_detected";
+  case FaultKind::CancelIssued:
+    return "cancel_issued";
+  case FaultKind::SpeculativeRedispatch:
+    return "speculative_redispatch";
+  case FaultKind::FrameDeadlineMissed:
+    return "frame_deadline_missed";
   }
   return "unknown_fault";
 }

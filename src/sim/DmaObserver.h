@@ -70,6 +70,11 @@ enum class FaultKind : uint8_t {
   DmaCompletionDelayed,   ///< A transfer's completion was pushed out.
   ChunkRequeued,          ///< A dead worker's chunk moved to a survivor.
   HostFallback,           ///< Work ran on the host; no core could.
+  KernelHang,             ///< A launch/descriptor wedged; watchdog fired.
+  StragglerDetected,      ///< A launch/descriptor missed its deadline.
+  CancelIssued,           ///< A cooperative cancel request was raised.
+  SpeculativeRedispatch,  ///< A backup copy was raced vs a straggler.
+  FrameDeadlineMissed,    ///< A frame exceeded its cycle budget.
 };
 
 /// \returns a stable lower-case name for \p Kind (trace/report output).

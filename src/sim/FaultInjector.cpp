@@ -92,6 +92,28 @@ uint64_t FaultInjector::killWastedCycles(unsigned AccelId) {
   return stream(AccelId).Rng.nextBelow(Config.KillWastedCyclesMax + 1);
 }
 
+TimingFault FaultInjector::classifyTiming(unsigned AccelId) {
+  AccelStream &S = stream(AccelId);
+  uint64_t Index = S.TimingIndex++;
+  if (S.HangAt != NoKill && Index >= S.HangAt) {
+    S.HangAt = NoKill;
+    return {/*Hangs=*/true, 1.0f};
+  }
+  if (S.StraggleAt != NoKill && Index >= S.StraggleAt) {
+    S.StraggleAt = NoKill;
+    return {/*Hangs=*/false, S.StraggleSlowdown};
+  }
+  // Zero rates draw nothing, keeping an idle injector bit-invisible and
+  // leaving the death/DMA streams of existing schedules undisturbed.
+  if (Config.HangRate > 0.0f && S.Rng.nextBool(Config.HangRate))
+    return {/*Hangs=*/true, 1.0f};
+  if (Config.StragglerRate > 0.0f && S.Rng.nextBool(Config.StragglerRate))
+    return {/*Hangs=*/false,
+            S.Rng.nextFloatInRange(Config.StragglerSlowdownMin,
+                                   Config.StragglerSlowdownMax)};
+  return {};
+}
+
 void FaultInjector::scheduleKill(unsigned AccelId, uint64_t LaunchIndex) {
   AccelStream &S = stream(AccelId);
   S.KillAtLaunch = S.LaunchIndex + LaunchIndex;
@@ -101,4 +123,16 @@ void FaultInjector::scheduleChunkKill(unsigned AccelId,
                                       uint64_t ChunkIndex) {
   AccelStream &S = stream(AccelId);
   S.KillAtChunk = S.ChunkIndex + ChunkIndex;
+}
+
+void FaultInjector::scheduleHang(unsigned AccelId, uint64_t Index) {
+  AccelStream &S = stream(AccelId);
+  S.HangAt = S.TimingIndex + Index;
+}
+
+void FaultInjector::scheduleStraggler(unsigned AccelId, uint64_t Index,
+                                      float Slowdown) {
+  AccelStream &S = stream(AccelId);
+  S.StraggleAt = S.TimingIndex + Index;
+  S.StraggleSlowdown = Slowdown;
 }

@@ -47,6 +47,14 @@ enum class LaunchFault : uint8_t {
                        ///< survives and the launch must be re-routed.
 };
 
+/// What the injector decided about one launch/descriptor's timing: it
+/// either wedges forever or runs slow by a cycle-cost multiplier
+/// (1.0 = on time). Orthogonal to the fail-stop LaunchFault verdicts.
+struct TimingFault {
+  bool Hangs = false;
+  float Slowdown = 1.0f;
+};
+
 /// Seeded, deterministic fault oracle for one machine.
 class FaultInjector {
 public:
@@ -85,14 +93,33 @@ public:
   /// chunk (0 = the next one).
   void scheduleChunkKill(unsigned AccelId, uint64_t ChunkIndex);
 
+  /// Classifies the timing of the next launch/descriptor on \p AccelId:
+  /// hang, straggle (with a drawn slowdown), or run on time. One shared
+  /// index covers both launch and descriptor sites, mirroring how the
+  /// watchdog deadlines apply uniformly. Scheduled timing faults take
+  /// precedence over the random rates without consuming a draw.
+  TimingFault classifyTiming(unsigned AccelId);
+
+  /// Forces \p AccelId's \p Index-th classified timing event (0 = the
+  /// next one) to hang.
+  void scheduleHang(unsigned AccelId, uint64_t Index);
+
+  /// Forces \p AccelId's \p Index-th classified timing event to run
+  /// \p Slowdown times slower.
+  void scheduleStraggler(unsigned AccelId, uint64_t Index, float Slowdown);
+
 private:
   /// Per-accelerator independent fault stream.
   struct AccelStream {
     SplitMix64 Rng;
     uint64_t LaunchIndex = 0;
     uint64_t ChunkIndex = 0;
+    uint64_t TimingIndex = 0;
     uint64_t KillAtLaunch = NoKill;
     uint64_t KillAtChunk = NoKill;
+    uint64_t HangAt = NoKill;
+    uint64_t StraggleAt = NoKill;
+    float StraggleSlowdown = 1.0f;
     unsigned ConsecutiveDmaFails = 0;
 
     AccelStream() : Rng(0) {}

@@ -45,6 +45,11 @@ void PerfCounters::print(OStream &OS) const {
   Row("descriptors dispatched", DescriptorsDispatched);
   Row("doorbell cycles", DoorbellCycles);
   Row("idle-poll cycles", IdlePollCycles);
+  Row("hangs detected", HangsDetected);
+  Row("stragglers detected", StragglersDetected);
+  Row("cancels issued", CancelsIssued);
+  Row("speculative redispatches", SpeculativeRedispatches);
+  Row("deadline-missed frames", DeadlineMissedFrames);
 }
 
 Machine::Machine(const MachineConfig &Config)

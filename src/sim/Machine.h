@@ -29,6 +29,7 @@
 #include "sim/MachineConfig.h"
 #include "sim/MainMemory.h"
 #include "sim/PerfCounters.h"
+#include "sim/WatchdogTimer.h"
 
 #include <memory>
 #include <vector>
@@ -89,6 +90,10 @@ public:
   /// disabled (the common case: event sites pay one null test, the same
   /// discipline as observer()).
   FaultInjector *faults() { return Faults.get(); }
+
+  /// The deadline watchdog (always present; unarmed unless the config
+  /// sets a launch or chunk deadline).
+  const WatchdogTimer &watchdog() const { return Watchdog; }
 
   /// Reports \p Event to the observers, if any are attached.
   void emitFault(const FaultEvent &Event) {
@@ -164,6 +169,7 @@ private:
   PerfCounters HostCounters;
   ObserverMux Observers;
   std::unique_ptr<FaultInjector> Faults; ///< Null unless Faults.Enabled.
+  WatchdogTimer Watchdog{Cfg};
   uint64_t NextBlockId = 1;
 };
 

@@ -54,6 +54,22 @@ struct FaultInjectionConfig {
   /// survives; the launch must be retried or re-routed.
   float LocalStoreFailRate = 0.0f;
 
+  /// Probability that an offload launch / mailbox descriptor wedges
+  /// forever (the kernel hang the watchdog exists for). A hang with no
+  /// armed watchdog deadline is a fatal configuration error: nothing
+  /// else can ever complete the work.
+  float HangRate = 0.0f;
+
+  /// Probability that one launch/descriptor runs slow by a cycle-cost
+  /// multiplier drawn uniformly from [StragglerSlowdownMin,
+  /// StragglerSlowdownMax] (thermal throttling, contended links — the
+  /// tail-latency straggler, not a fail-stop fault).
+  float StragglerRate = 0.0f;
+
+  /// Inclusive range of the straggler slowdown multiplier.
+  float StragglerSlowdownMin = 2.0f;
+  float StragglerSlowdownMax = 8.0f;
+
   /// Extra completion latency of one delayed transfer, in cycles.
   uint64_t DmaDelayCycles = 400;
 
@@ -72,6 +88,20 @@ struct FaultInjectionConfig {
   /// A dying accelerator wastes a uniform [0, max] cycles of work
   /// before the fault detector declares it lost.
   uint64_t KillWastedCyclesMax = 2000;
+};
+
+/// What the runtime does when the watchdog flags a launch/descriptor
+/// past its deadline. All policies keep results bit-identical: a body
+/// is never executed twice, so recovery only re-times completed work.
+enum class DeadlinePolicy : uint8_t {
+  /// Detect and count only; the straggler runs to its slowed finish.
+  None,
+  /// Cancel the straggler at the deadline, then re-dispatch its
+  /// descriptor (full re-run cost) on another worker or the host.
+  CancelRestart,
+  /// Launch a backup copy while the straggler keeps running; first
+  /// completion wins and the loser is cancelled.
+  Speculate,
 };
 
 /// Architectural parameters of the simulated heterogeneous machine.
@@ -148,6 +178,26 @@ struct MachineConfig {
 
   /// Descriptor capacity of one resident worker's mailbox.
   unsigned MailboxDepth = 8;
+
+  /// Period of the watchdog's deadline sweep: an overdue launch or
+  /// descriptor is detected at the next absolute multiple of this, not
+  /// at the deadline itself (the watchdog is a polling device).
+  uint64_t WatchdogCheckCycles = 200;
+
+  /// Deadline, in cycles from launch start, for one offload block.
+  /// 0 disarms launch deadlines (hangs there become fatal).
+  uint64_t LaunchDeadlineCycles = 0;
+
+  /// Deadline, in cycles from descriptor pop, for one mailbox work
+  /// descriptor. 0 disarms chunk deadlines.
+  uint64_t ChunkDeadlineCycles = 0;
+
+  /// Workers observe a cancel request only at chunk boundaries; the
+  /// observation is quantized to absolute multiples of this.
+  uint64_t CancelPollCycles = 64;
+
+  /// Recovery policy for deadline misses (watchdog must be armed).
+  DeadlinePolicy DeadlineRecovery = DeadlinePolicy::None;
 
   /// When true the machine behaves as a traditional single-space SMP:
   /// accelerators address main memory directly at HostAccessCycles and

@@ -50,6 +50,11 @@ struct PerfCounters {
                                       ///< this core's resident worker.
   uint64_t DoorbellCycles = 0; ///< Host cycles ringing worker doorbells.
   uint64_t IdlePollCycles = 0; ///< Worker cycles polling empty mailboxes.
+  uint64_t HangsDetected = 0; ///< Wedged kernels flagged by the watchdog.
+  uint64_t StragglersDetected = 0; ///< Deadline-missing slow kernels.
+  uint64_t CancelsIssued = 0; ///< Cooperative cancel requests raised.
+  uint64_t SpeculativeRedispatches = 0; ///< Backup copies raced.
+  uint64_t DeadlineMissedFrames = 0; ///< Frames over their cycle budget.
 
   /// \returns total DMA transfers issued.
   uint64_t dmaTransfers() const { return DmaGetsIssued + DmaPutsIssued; }
@@ -82,6 +87,11 @@ struct PerfCounters {
     DescriptorsDispatched += Other.DescriptorsDispatched;
     DoorbellCycles += Other.DoorbellCycles;
     IdlePollCycles += Other.IdlePollCycles;
+    HangsDetected += Other.HangsDetected;
+    StragglersDetected += Other.StragglersDetected;
+    CancelsIssued += Other.CancelsIssued;
+    SpeculativeRedispatches += Other.SpeculativeRedispatches;
+    DeadlineMissedFrames += Other.DeadlineMissedFrames;
   }
 
   /// Prints the counters as a small table.

@@ -145,7 +145,7 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
   if (!Rec.faults().empty()) {
     // Count per kind, printed in FaultKind order so the line is stable.
     constexpr unsigned NumKinds =
-        static_cast<unsigned>(FaultKind::HostFallback) + 1;
+        static_cast<unsigned>(FaultKind::FrameDeadlineMissed) + 1;
     uint64_t Counts[NumKinds] = {};
     for (const FaultEvent &F : Rec.faults())
       ++Counts[static_cast<unsigned>(F.Kind)];

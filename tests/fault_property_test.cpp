@@ -156,5 +156,72 @@ TEST_P(FaultRecoveryProperty, ResidentScheduleReplaysCycleForCycle) {
   EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
 }
 
+namespace {
+
+/// Derives a timing-fault mix (hangs + stragglers) from \p Seed and
+/// arms the chunk watchdog with the given recovery \p Policy. Hang
+/// rates stay small — each hang permanently costs a core.
+MachineConfig timingFaultConfig(uint64_t Seed, DeadlinePolicy Policy) {
+  SplitMix64 Rng(Seed ^ 0xDEAD11E5);
+  MachineConfig Cfg = MachineConfig::cellLike();
+  Cfg.ChunkDeadlineCycles = 20000;
+  Cfg.LaunchDeadlineCycles = 20000;
+  Cfg.CancelPollCycles = 32;
+  Cfg.DeadlineRecovery = Policy;
+  Cfg.Faults.Enabled = true;
+  Cfg.Faults.Seed = Rng.next();
+  Cfg.Faults.HangRate = Rng.nextFloat() * 0.002f;
+  Cfg.Faults.StragglerRate = Rng.nextFloat() * 0.05f;
+  Cfg.Faults.StragglerSlowdownMin = 2.0f;
+  Cfg.Faults.StragglerSlowdownMax =
+      2.0f + Rng.nextFloat() * 14.0f;
+  return Cfg;
+}
+
+} // namespace
+
+TEST_P(FaultRecoveryProperty, TimingFaultsNeverChangeFrameResults) {
+  RunResult Reference = runResidentFrames(MachineConfig::cellLike());
+  // Hangs, stragglers, cancellation and re-dispatch under every
+  // recovery policy: time-only — the computed world is untouchable.
+  for (DeadlinePolicy Policy :
+       {DeadlinePolicy::None, DeadlinePolicy::CancelRestart,
+        DeadlinePolicy::Speculate}) {
+    RunResult Injected =
+        runResidentFrames(timingFaultConfig(GetParam(), Policy));
+    EXPECT_EQ(Injected.Checksum, Reference.Checksum)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+    EXPECT_GE(Injected.HostCycles, Reference.HostCycles);
+  }
+}
+
+TEST_P(FaultRecoveryProperty, TimingFaultScheduleReplaysCycleForCycle) {
+  MachineConfig Cfg =
+      timingFaultConfig(GetParam(), DeadlinePolicy::Speculate);
+  RunResult First = runResidentFrames(Cfg);
+  RunResult Second = runResidentFrames(Cfg);
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
+  EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
+}
+
+TEST_P(FaultRecoveryProperty, ZeroTimingRatesReproduceBaselineExactly) {
+  // An armed injector whose timing rates are all zero must not perturb
+  // the RNG stream or the clocks: cycle counts equal the
+  // injector-disabled baseline EXACTLY, not just the checksum.
+  RunResult Baseline = runResidentFrames(MachineConfig::cellLike());
+  MachineConfig Cfg = MachineConfig::cellLike();
+  Cfg.Faults.Enabled = true;
+  Cfg.Faults.Seed = GetParam();
+  Cfg.Faults.HangRate = 0.0f;
+  Cfg.Faults.StragglerRate = 0.0f;
+  RunResult Armed = runResidentFrames(Cfg);
+  EXPECT_EQ(Armed.Checksum, Baseline.Checksum);
+  EXPECT_EQ(Armed.HostCycles, Baseline.HostCycles);
+  EXPECT_EQ(Armed.LaunchFaults, Baseline.LaunchFaults);
+  EXPECT_EQ(Armed.AcceleratorsLost, Baseline.AcceleratorsLost);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultRecoveryProperty,
                          ::testing::Range<uint64_t>(1, 17));

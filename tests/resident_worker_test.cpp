@@ -238,6 +238,110 @@ TEST(ResidentWorker, MidDrainKillEmitsTheDrainAndReplaysExactly) {
   EXPECT_EQ(HostA, HostB);
 }
 
+TEST(ResidentWorker, FullMailboxOfDyingWorkerDrainsBackIntact) {
+  // Fill one worker's mailbox to capacity, refuse the overflow push,
+  // then kill the worker on its first pop: the popped descriptor plus
+  // the full backlog must drain back in order, boundaries intact, and
+  // re-run elsewhere exactly once.
+  MachineConfig Cfg;
+  Cfg.NumAccelerators = 2;
+  Cfg.Faults.Enabled = true; // Rates stay 0.0; only the scheduled kill.
+  Machine M(Cfg);
+  M.faults()->scheduleChunkKill(0, 0);
+  std::vector<unsigned> Visits;
+  auto Body = [&](OffloadContext &, uint32_t Begin, uint32_t End) {
+    for (uint32_t I = Begin; I != End; ++I)
+      ++Visits[I];
+  };
+  ResidentWorkerPool Pool(M, 2);
+  ASSERT_EQ(Pool.liveCount(), 2u);
+  unsigned W0 = Pool.findWorkerFor(0);
+  ASSERT_NE(W0, ResidentWorkerPool::NoWorker);
+  const unsigned Depth = Pool.mailbox(W0).capacity();
+  Visits.assign(Depth + 1, 0);
+  for (unsigned I = 0; I != Depth; ++I)
+    Pool.dispatch(W0, {I, I + 1, I, WorkDescriptor::NoHome});
+  ASSERT_TRUE(Pool.mailbox(W0).full());
+  // The overflow push is refused without charging the doorbell or
+  // corrupting the queue.
+  uint64_t DoorbellsBefore = M.hostCounters().DoorbellCycles;
+  EXPECT_FALSE(
+      Pool.mailbox(W0).push({Depth, Depth + 1, Depth,
+                             WorkDescriptor::NoHome}));
+  EXPECT_EQ(M.hostCounters().DoorbellCycles, DoorbellsBefore);
+  EXPECT_EQ(Pool.mailbox(W0).size(), Depth);
+
+  std::vector<WorkDescriptor> Orphans;
+  EXPECT_FALSE(Pool.executeNext(W0, Body, Orphans));
+  // Popped descriptor first, then the backlog oldest-first: nothing
+  // lost, nothing duplicated, boundaries untouched.
+  ASSERT_EQ(Orphans.size(), Depth);
+  for (unsigned I = 0; I != Depth; ++I) {
+    EXPECT_EQ(Orphans[I].Begin, I);
+    EXPECT_EQ(Orphans[I].End, I + 1);
+  }
+  EXPECT_EQ(Pool.liveCount(), 1u);
+  EXPECT_EQ(Pool.findWorkerFor(0), ResidentWorkerPool::NoWorker);
+  EXPECT_EQ(Pool.stats().DeadWorkers, 1u);
+  EXPECT_EQ(Pool.stats().RequeuedDescriptors, Depth);
+
+  for (const WorkDescriptor &Desc : Orphans) {
+    unsigned W = Pool.pickWorker();
+    Pool.dispatch(W, Desc);
+    ASSERT_TRUE(Pool.executeNext(W, Body, Orphans));
+  }
+  Pool.close();
+  for (unsigned I = 0; I != Depth; ++I)
+    EXPECT_EQ(Visits[I], 1u) << "index " << I;
+  EXPECT_EQ(Visits[Depth], 0u); // The refused push never ran.
+}
+
+TEST(ResidentWorker, DoorbellAfterKillAcceleratorDrainsTheBacklog) {
+  // The host hard-kills a core while its mailbox holds a backlog, and
+  // one more doorbell lands *after* the kill (the mailbox is host-side
+  // state, so the push succeeds). The next pop's death verdict buries
+  // the worker: every descriptor — pushed before or after the kill —
+  // drains back exactly once.
+  MachineConfig Cfg;
+  Cfg.NumAccelerators = 2;
+  Cfg.Faults.Enabled = true;
+  Machine M(Cfg);
+  M.faults()->scheduleChunkKill(0, 0);
+  std::vector<unsigned> Visits(4, 0);
+  auto Body = [&](OffloadContext &, uint32_t Begin, uint32_t End) {
+    for (uint32_t I = Begin; I != End; ++I)
+      ++Visits[I];
+  };
+  ResidentWorkerPool Pool(M, 2);
+  ASSERT_EQ(Pool.liveCount(), 2u);
+  unsigned W0 = Pool.findWorkerFor(0);
+  ASSERT_NE(W0, ResidentWorkerPool::NoWorker);
+  for (unsigned I = 0; I != 3; ++I)
+    Pool.dispatch(W0, {I, I + 1, I, WorkDescriptor::NoHome});
+  M.killAccelerator(0);
+  EXPECT_FALSE(M.accel(0).Alive);
+  // Late doorbell: the host had the descriptor in flight when the core
+  // died. It must queue (and later drain), not vanish.
+  Pool.dispatch(W0, {3, 4, 3, WorkDescriptor::NoHome});
+  EXPECT_EQ(Pool.mailbox(W0).size(), 4u);
+
+  std::vector<WorkDescriptor> Orphans;
+  EXPECT_FALSE(Pool.executeNext(W0, Body, Orphans));
+  ASSERT_EQ(Orphans.size(), 4u);
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_EQ(Orphans[I].Begin, I);
+    EXPECT_EQ(Orphans[I].End, I + 1);
+  }
+  for (const WorkDescriptor &Desc : Orphans) {
+    unsigned W = Pool.pickWorker();
+    Pool.dispatch(W, Desc);
+    ASSERT_TRUE(Pool.executeNext(W, Body, Orphans));
+  }
+  Pool.close();
+  for (unsigned I = 0; I != 4; ++I)
+    EXPECT_EQ(Visits[I], 1u) << "index " << I;
+}
+
 TEST(ResidentWorker, DeterministicAcrossRuns) {
   uint64_t Makespans[2];
   for (int Run = 0; Run != 2; ++Run) {

@@ -19,8 +19,12 @@ delta is a real behaviour change, not noise.
 
 --require asserts a counter on every matching row (e.g.
 `--require speedup_vs_launch '>=' 2.0 --filter chunk_elems:1/`), making
-the script usable as a CI gate. Exit status: 0 clean, 1 malformed
-input, 2 a --require failed.
+the script usable as a CI gate. The operator also takes a relative
+form against the committed snapshot:
+`--require p99_cycles '<=+5%' baseline` passes when every row's
+p99_cycles is at most 5% above the baseline row's value (requires
+--baseline; a row with no baseline counterpart fails the gate).
+Exit status: 0 clean, 1 malformed input, 2 a --require failed.
 """
 
 import argparse
@@ -52,6 +56,17 @@ OPS = {
     "<": lambda a, b: a < b,
     "==": lambda a, b: a == b,
 }
+
+# Relative form: "<=+5%" / ">=-3%" — OP with an embedded tolerance,
+# applied against the baseline row's value of the same counter.
+RELATIVE_OP = re.compile(r"^(<=|>=)([+-]?\d+(?:\.\d+)?)%$")
+
+
+def lookup(bench, counter):
+    """Counter value of a row; sim_cycles is addressable like a counter."""
+    if counter == "sim_cycles":
+        return bench.get("sim_cycles")
+    return bench.get("counters", {}).get(counter)
 
 
 def main():
@@ -110,9 +125,31 @@ def main():
             print("  " + "  ".join(row))
 
             for counter, op, value in args.require:
+                have = lookup(bench, counter)
+                relative = RELATIVE_OP.match(op)
+                if relative:
+                    if value != "baseline":
+                        sys.exit(f"error: relative {op!r} needs VALUE "
+                                 f"'baseline', got {value!r}")
+                    ref_row = base.get(name)
+                    ref_val = lookup(ref_row, counter) if ref_row else None
+                    if ref_val is None:
+                        print(f"REQUIRE FAILED: {name}: no baseline "
+                              f"{counter} to compare against",
+                              file=sys.stderr)
+                        failures += 1
+                        continue
+                    base_op, pct = relative.groups()
+                    bound = ref_val * (1.0 + float(pct) / 100.0)
+                    if have is None or not OPS[base_op](have, bound):
+                        print(f"REQUIRE FAILED: {name}: {counter}={have} "
+                              f"not {base_op} {bound:g} "
+                              f"(baseline {ref_val:g} {op})",
+                              file=sys.stderr)
+                        failures += 1
+                    continue
                 if op not in OPS:
                     sys.exit(f"error: unknown operator {op!r}")
-                have = merged.get(counter)
                 if have is None or not OPS[op](have, float(value)):
                     print(f"REQUIRE FAILED: {name}: {counter}={have} "
                           f"not {op} {value}", file=sys.stderr)

@@ -90,8 +90,26 @@ std::string experimentName(const char *Argv0) {
   return Name;
 }
 
+/// Owns the storage of arguments parseOwnFlags rewrites (argv keeps
+/// pointers into these strings past the parse).
+std::vector<std::string> RewrittenArgs;
+
+/// Escapes \p Text so google-benchmark's regex filter matches it as a
+/// literal substring.
+std::string regexEscape(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (std::strchr("\\^$.|?*+()[]{}", C))
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
 /// Strips --trace/--json/--no-json from argv (google-benchmark rejects
-/// flags it does not know) and records their values.
+/// flags it does not know), records their values, and rewrites the
+/// convenience flags --list and --filter <substring> into the
+/// --benchmark_* spellings.
 void parseOwnFlags(int &Argc, char **Argv) {
   int Out = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -106,8 +124,17 @@ void parseOwnFlags(int &Argc, char **Argv) {
         return Argv[++I]; // Space-separated form consumes the next arg.
       return nullptr;
     };
+    auto Rewrite = [&](std::string Replacement) {
+      RewrittenArgs.push_back(std::move(Replacement));
+      Argv[Out++] = RewrittenArgs.back().data();
+    };
     if (Arg == "--no-json") {
       JsonEnabled = false;
+    } else if (Arg == "--list") {
+      Rewrite("--benchmark_list_tests=true");
+    } else if (const char *V = Value("--filter")) {
+      // Substring match, not regex: escape the metacharacters.
+      Rewrite("--benchmark_filter=" + regexEscape(V));
     } else if (const char *V = Value("--trace")) {
       TracePath = V;
     } else if (const char *V = Value("--json")) {

@@ -8,12 +8,14 @@
 #
 # Four stages, all must be green:
 #   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts
-#                    on), everything except the `soak` label
-#   2. bench smoke — tiny E10 + E11 runs: the benches abort on any
-#                    checksum divergence, and bench_summary.py asserts
-#                    the finest-chunk speedup floor (E10) and the p99
-#                    frame-cycle tail against the committed baseline
-#                    (E11)
+#                    on, warnings promoted to errors), everything
+#                    except the `soak` label
+#   2. bench smoke — tiny E10 + E11 + E12 runs: the benches abort on
+#                    any checksum divergence, and bench_summary.py
+#                    asserts the finest-chunk speedup floor (E10), the
+#                    p99 frame-cycle tail against the committed
+#                    baseline (E11), and the work-stealing p99 win
+#                    floor (E12)
 #   3. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
 #   4. soak        — the long randomised fault-injection endurance runs,
 #                    under the sanitizer build where their randomly
@@ -27,7 +29,7 @@ cd "$(dirname "$0")"
 JOBS="${1:-$(nproc)}"
 
 echo "=== tier-1: configure + build + ctest ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -LE soak --output-on-failure -j "$JOBS"
 
@@ -51,6 +53,22 @@ python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
 python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
     --baseline BENCH_baseline \
     --require p99_cycles '<=+5%' baseline
+
+echo "=== bench smoke: work stealing (E12) ==="
+# --filter is the bench harness's literal-substring spelling of
+# --benchmark_filter (bench/BenchMain.cpp).
+( cd build/bench && ./bench_e12_work_stealing \
+      --json=BENCH_e12_smoke.json \
+      --filter 'policy:2' )
+python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
+    --baseline BENCH_baseline \
+    --counters p99_cycles,steals_succeeded,descriptors_stolen
+python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
+    --filter 'SkewedChunks/hot_mult:32/policy:2' \
+    --require p99_win_vs_none '>=' 1.3
+python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
+    --filter 'StragglerSteal' \
+    --require p99_win_vs_none '>=' 1.3
 
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON

@@ -311,6 +311,8 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
   Stats.AiStragglers = Run.Stragglers;
   Stats.AiSpeculative = Run.SpeculativeRedispatches;
   Stats.AiCancels = Run.Cancels;
+  Stats.AiSteals = static_cast<uint32_t>(Run.StealsSucceeded);
+  Stats.AiDescriptorsStolen = static_cast<uint32_t>(Run.DescriptorsStolen);
 
   uint64_t Start = M.hostClock().now();
   collisionPassHost(Stats);

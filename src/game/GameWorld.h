@@ -82,6 +82,10 @@ struct FrameStats {
   uint32_t AiStragglers = 0;   ///< Chunks past their deadline.
   uint32_t AiSpeculative = 0;  ///< Backup copies raced.
   uint32_t AiCancels = 0;      ///< Cooperative cancels raised.
+  /// Accelerator-side work stealing (resident schedule with
+  /// MachineConfig::WorkStealing enabled; zero otherwise).
+  uint32_t AiSteals = 0;       ///< Successful steals during the AI pass.
+  uint32_t AiDescriptorsStolen = 0; ///< Chunks that migrated via steals.
   /// Graceful degradation: what this frame shed to claw back budget
   /// (lowest-priority == highest-index entities hold last frame's
   /// decision/pose).

@@ -98,6 +98,14 @@ struct JobRunStats {
   uint32_t Cancels = 0;
   /// Straggling chunks the host took because no other worker was alive.
   uint32_t HostEscalations = 0;
+  /// Steal probes issued by idle workers (StealPolicy != None).
+  uint64_t StealsAttempted = 0;
+  /// Probes that found a victim and moved work.
+  uint64_t StealsSucceeded = 0;
+  /// Chunks that migrated between workers through steals.
+  uint64_t DescriptorsStolen = 0;
+  /// Accelerator cycles spent probing and transferring steals.
+  uint64_t StealCycles = 0;
 
   /// max/mean busy ratio; 1.0 = perfectly balanced.
   double imbalance() const {
@@ -140,6 +148,65 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   size_t OrphanHead = 0;
   uint32_t Next = 0;
   uint64_t Seq = 0;
+
+  if (Pool.stealingEnabled() && Pool.liveCount() > 0) {
+    // Stealing mode: bulk initial placement instead of host-paced eager
+    // dispatch. The range is carved into fixed ChunkSize descriptors
+    // (the adaptive policy is moot — rebalancing is the workers' job
+    // now) and each worker receives one contiguous region with a single
+    // doorbell; imbalance is then corrected accelerator-side by steals.
+    const unsigned Workers = Pool.liveCount();
+    const uint32_t NumChunks = (Count + ChunkSize - 1) / ChunkSize;
+    const uint32_t PerWorker = NumChunks / Workers;
+    const uint32_t Remainder = NumChunks % Workers;
+    std::vector<sim::WorkDescriptor> Region;
+    for (unsigned W = 0; W != Workers; ++W) {
+      uint32_t ChunksHere = PerWorker + (W < Remainder ? 1 : 0);
+      Region.clear();
+      for (uint32_t C = 0; C != ChunksHere && Next < Count; ++C) {
+        uint32_t End = std::min(Count, Next + ChunkSize);
+        Region.push_back(
+            sim::WorkDescriptor{Next, End, Seq++, sim::WorkDescriptor::NoHome});
+        Next = End;
+      }
+      Pool.dispatchBulk(W, Region);
+    }
+    // Drain: orphans from dead workers are re-dispatched first; then,
+    // whenever the idlest empty worker trails the next loaded worker's
+    // clock, it probes for a steal instead of leaving the backlog where
+    // it is. Failed probes park the thief, so the loop always advances.
+    for (;;) {
+      if (OrphanHead < Orphans.size()) {
+        if (Pool.liveCount() == 0) {
+          const sim::WorkDescriptor &Desc = Orphans[OrphanHead++];
+          ++Stats.HostChunks;
+          ++M.hostCounters().HostFallbackChunks;
+          M.emitFault({sim::FaultKind::HostFallback, NoAccelerator,
+                       /*BlockId=*/0, M.hostClock().now(), Desc.Begin});
+          detail::runChunkOnHost(M, Body, Desc.Begin, Desc.End);
+          continue;
+        }
+        unsigned W = Pool.pickWorker();
+        if (Pool.mailbox(W).full()) {
+          Pool.executeNext(W, Body, Orphans);
+          continue;
+        }
+        Pool.dispatch(W, Orphans[OrphanHead++]);
+        continue;
+      }
+      unsigned W = Pool.pickLoadedWorker();
+      if (W == ResidentWorkerPool::NoWorker)
+        break;
+      unsigned T = Pool.pickIdleThief();
+      if (T != ResidentWorkerPool::NoWorker &&
+          Pool.workerClock(T) < Pool.workerClock(W)) {
+        Pool.trySteal(T);
+        continue;
+      }
+      Pool.executeNext(W, Body, Orphans);
+    }
+  }
+
   while (Next < Count || OrphanHead < Orphans.size()) {
     sim::WorkDescriptor Desc;
     if (OrphanHead < Orphans.size()) {
@@ -189,6 +256,10 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   Stats.SpeculativeRedispatches = PS.SpeculativeCopies;
   Stats.Cancels = PS.Cancels;
   Stats.HostEscalations = PS.HostEscalations;
+  Stats.StealsAttempted = PS.StealsAttempted;
+  Stats.StealsSucceeded = PS.StealsSucceeded;
+  Stats.DescriptorsStolen = PS.DescriptorsStolen;
+  Stats.StealCycles = PS.StealCycles;
   return Stats;
 }
 

@@ -58,6 +58,14 @@ struct ParallelForStats {
   unsigned SpeculativeRedispatches = 0;
   /// Cooperative cancels raised during the region.
   unsigned Cancels = 0;
+  /// Steal probes issued by idle workers (StealPolicy != None).
+  uint64_t StealsAttempted = 0;
+  /// Probes that found a victim and moved work.
+  uint64_t StealsSucceeded = 0;
+  /// Sub-slices that migrated between workers through steals.
+  uint64_t DescriptorsStolen = 0;
+  /// Accelerator cycles spent probing and transferring steals.
+  uint64_t StealCycles = 0;
   /// Worst launch outcome observed while opening the worker pool.
   OffloadStatus Status = OffloadStatus::Ok;
 };
@@ -131,16 +139,42 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
 
   // Publish the static split up front — the slice boundaries are fixed
   // by the full budget and never move, whatever happens to the workers.
+  // With stealing enabled each slice is published as StealSliceChunks
+  // sub-descriptors through one bulk doorbell, so a thief can later
+  // claim part of a slice instead of all-or-nothing.
+  const bool Stealing = Pool.stealingEnabled() && Pool.liveCount() > 0;
   uint32_t Begin = 0;
+  uint64_t Seq = 0;
+  std::vector<sim::WorkDescriptor> Region;
   for (unsigned W = 0; W != Workers; ++W) {
     uint32_t Len = PerWorker + (W < Remainder ? 1 : 0);
-    Dispatch(sim::WorkDescriptor{Begin, Begin + Len, /*Seq=*/W,
-                                 /*Home=*/W});
-    Begin += Len;
+    if (!Stealing) {
+      Dispatch(sim::WorkDescriptor{Begin, Begin + Len, Seq++, /*Home=*/W});
+      Begin += Len;
+      continue;
+    }
+    uint32_t Subs = std::max(1u, std::min(M.config().StealSliceChunks, Len));
+    uint32_t PerSub = Len / Subs;
+    uint32_t SubRem = Len % Subs;
+    Region.clear();
+    for (uint32_t S = 0; S != Subs; ++S) {
+      uint32_t SubLen = PerSub + (S < SubRem ? 1 : 0);
+      Region.push_back(
+          sim::WorkDescriptor{Begin, Begin + SubLen, Seq++, /*Home=*/W});
+      Begin += SubLen;
+    }
+    unsigned LiveW = Pool.findWorkerFor(W);
+    if (LiveW != ResidentWorkerPool::NoWorker)
+      Pool.dispatchBulk(LiveW, Region);
+    else
+      for (const sim::WorkDescriptor &Desc : Region)
+        Dispatch(Desc);
   }
 
   // Drain: recovered orphans first (in death order), then whichever
   // loaded worker has the lowest clock, until every mailbox is empty.
+  // In stealing mode an idle worker whose clock trails the next loaded
+  // worker probes for a victim first — that is the whole optimisation.
   for (;;) {
     if (OrphanHead < Orphans.size()) {
       Dispatch(Orphans[OrphanHead++]);
@@ -149,6 +183,14 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
     unsigned W = Pool.pickLoadedWorker();
     if (W == ResidentWorkerPool::NoWorker)
       break;
+    if (Stealing) {
+      unsigned T = Pool.pickIdleThief();
+      if (T != ResidentWorkerPool::NoWorker &&
+          Pool.workerClock(T) < Pool.workerClock(W)) {
+        Pool.trySteal(T);
+        continue;
+      }
+    }
     Pool.executeNext(W, Body, Orphans);
   }
 
@@ -161,6 +203,10 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
   Stats.Stragglers = PS.StragglerDescriptors;
   Stats.SpeculativeRedispatches = PS.SpeculativeCopies;
   Stats.Cancels = PS.Cancels;
+  Stats.StealsAttempted = PS.StealsAttempted;
+  Stats.StealsSucceeded = PS.StealsSucceeded;
+  Stats.DescriptorsStolen = PS.DescriptorsStolen;
+  Stats.StealCycles = PS.StealCycles;
   Stats.HostSlices += PS.HostEscalations;
   Stats.Status = PS.WorstLaunchStatus;
   return Stats;

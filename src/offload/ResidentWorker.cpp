@@ -15,7 +15,9 @@ using namespace omm;
 using namespace omm::offload;
 
 ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
-    : M(M), Faults(M.faults()), DeadlinesArmed(M.watchdog().armsChunks()) {
+    : M(M), Faults(M.faults()), Steal(M.config().WorkStealing),
+      StealRng(M.config().StealSeed),
+      DeadlinesArmed(M.watchdog().armsChunks()) {
   const sim::MachineConfig &Cfg = M.config();
   unsigned Budget = std::min(M.numAccelerators(), MaxWorkers);
   FrameStart = M.hostClock().now();
@@ -37,9 +39,12 @@ ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
     sim::Accelerator &Accel = M.accel(W);
     Accel.Clock.resetTo(std::max(Accel.FreeAt, M.hostClock().now()) +
                         Cfg.OffloadLaunchCycles);
-    unsigned StatIndex = static_cast<unsigned>(Live.size());
-    Live.push_back(Worker{W, BlockId, StatIndex, 0, Accel.Store.mark(),
-                          nullptr, nullptr});
+    Worker Wk;
+    Wk.AccelId = W;
+    Wk.BlockId = BlockId;
+    Wk.StatIndex = static_cast<unsigned>(Live.size());
+    Wk.Mark = Accel.Store.mark();
+    Live.push_back(std::move(Wk));
     if (sim::DmaObserver *Obs = M.observer())
       Obs->onBlockBegin(W, BlockId, Accel.Clock.now());
     Live.back().Ctx = std::make_unique<OffloadContext>(M, W);
@@ -50,24 +55,27 @@ ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
   PS.Chunks.assign(Live.size(), 0);
 }
 
+bool ResidentWorkerPool::beats(unsigned A, unsigned B) const {
+  // Lowest clock wins; ties go to the worker with fewer descriptors
+  // executed, then the lower accelerator id. Without the tuple,
+  // zero-cost regions would funnel every descriptor to pool order's
+  // first entry.
+  uint64_t ClockA = M.accel(Live[A].AccelId).Clock.now();
+  uint64_t ClockB = M.accel(Live[B].AccelId).Clock.now();
+  return ClockA < ClockB ||
+         (ClockA == ClockB &&
+          (Live[A].Executed < Live[B].Executed ||
+           (Live[A].Executed == Live[B].Executed &&
+            Live[A].AccelId < Live[B].AccelId)));
+}
+
 unsigned ResidentWorkerPool::pickWorker() const {
   if (Live.empty())
     reportFatalError("resident pool: picking a worker from an empty pool");
   unsigned Best = 0;
-  for (unsigned W = 1; W != Live.size(); ++W) {
-    uint64_t BestClock = M.accel(Live[Best].AccelId).Clock.now();
-    uint64_t Clock = M.accel(Live[W].AccelId).Clock.now();
-    // Lowest clock wins; ties go to the worker with fewer descriptors
-    // executed, then the lower accelerator id. Without the tuple,
-    // zero-cost regions would funnel every descriptor to pool order's
-    // first entry.
-    if (Clock < BestClock ||
-        (Clock == BestClock &&
-         (Live[W].Executed < Live[Best].Executed ||
-          (Live[W].Executed == Live[Best].Executed &&
-           Live[W].AccelId < Live[Best].AccelId))))
+  for (unsigned W = 1; W != Live.size(); ++W)
+    if (beats(W, Best))
       Best = W;
-  }
   return Best;
 }
 
@@ -76,20 +84,34 @@ unsigned ResidentWorkerPool::pickLoadedWorker() const {
   for (unsigned W = 0; W != Live.size(); ++W) {
     if (Live[W].Box->empty())
       continue;
-    if (Best == NoWorker) {
-      Best = W;
-      continue;
-    }
-    uint64_t BestClock = M.accel(Live[Best].AccelId).Clock.now();
-    uint64_t Clock = M.accel(Live[W].AccelId).Clock.now();
-    if (Clock < BestClock ||
-        (Clock == BestClock &&
-         (Live[W].Executed < Live[Best].Executed ||
-          (Live[W].Executed == Live[Best].Executed &&
-           Live[W].AccelId < Live[Best].AccelId))))
+    if (Best == NoWorker || beats(W, Best))
       Best = W;
   }
   return Best;
+}
+
+unsigned ResidentWorkerPool::pickIdleThief() const {
+  unsigned Best = NoWorker;
+  for (unsigned W = 0; W != Live.size(); ++W) {
+    if (!Live[W].Box->empty() || Live[W].StealParked)
+      continue;
+    if (Best == NoWorker || beats(W, Best))
+      Best = W;
+  }
+  return Best;
+}
+
+uint64_t ResidentWorkerPool::workerClock(unsigned W) const {
+  return M.accel(Live[W].AccelId).Clock.now();
+}
+
+bool ResidentWorkerPool::stealingEnabled() const {
+  return Steal != sim::StealPolicy::None;
+}
+
+void ResidentWorkerPool::unparkAll() {
+  for (Worker &Wk : Live)
+    Wk.StealParked = false;
 }
 
 unsigned ResidentWorkerPool::findWorkerFor(unsigned AccelId) const {
@@ -104,6 +126,88 @@ void ResidentWorkerPool::dispatch(unsigned W,
   if (!Live[W].Box->push(Desc))
     reportFatalError("resident pool: dispatching to a full mailbox");
   ++PS.DescriptorsDispatched;
+  unparkAll();
+}
+
+void ResidentWorkerPool::dispatchBulk(
+    unsigned W, const std::vector<sim::WorkDescriptor> &Descs) {
+  Live[W].Box->pushBulk(Descs);
+  PS.DescriptorsDispatched += Descs.size();
+  unparkAll();
+}
+
+unsigned ResidentWorkerPool::pickVictim(unsigned Thief,
+                                        unsigned Rotation) const {
+  const unsigned MinBacklog = std::max(2u, M.config().StealMinBacklog);
+  const unsigned Count = static_cast<unsigned>(Live.size());
+  const uint32_t ThiefEnd = Live[Thief].LastEnd;
+  unsigned Best = NoWorker;
+  uint64_t BestDist = 0;
+  unsigned BestRot = 0;
+  for (unsigned V = 0; V != Count; ++V) {
+    if (V == Thief || Live[V].Box->size() < MinBacklog)
+      continue;
+    // A thief that has executed nothing yet has no locality to exploit;
+    // distance 0 for everyone degrades LocalityAware to pure rotation.
+    uint64_t Dist = 0;
+    if (Steal == sim::StealPolicy::LocalityAware && ThiefEnd != UINT32_MAX) {
+      uint32_t Tail = Live[V].Box->tailBegin();
+      Dist = Tail > ThiefEnd ? Tail - ThiefEnd : ThiefEnd - Tail;
+    }
+    // Rotation ranks are distinct per candidate, so the (distance,
+    // rotation) key is already a total order; the id tie-break below is
+    // belt and braces for readability.
+    unsigned Rot = (V + Count - Rotation % Count) % Count;
+    if (Best == NoWorker || Dist < BestDist ||
+        (Dist == BestDist &&
+         (Rot < BestRot ||
+          (Rot == BestRot && Live[V].AccelId < Live[Best].AccelId)))) {
+      Best = V;
+      BestDist = Dist;
+      BestRot = Rot;
+    }
+  }
+  return Best;
+}
+
+unsigned ResidentWorkerPool::trySteal(unsigned W) {
+  const sim::MachineConfig &Cfg = M.config();
+  Worker &Wk = Live[W];
+  sim::Accelerator &Accel = M.accel(Wk.AccelId);
+  // The probe reads the victims' queue headers from main memory; it is
+  // paid whether or not anyone qualifies.
+  Accel.Clock.advance(Cfg.StealProbeCycles);
+  Accel.Counters.StealCycles += Cfg.StealProbeCycles;
+  ++Accel.Counters.StealsAttempted;
+  ++PS.StealsAttempted;
+  PS.StealCycles += Cfg.StealProbeCycles;
+  unsigned Rotation =
+      static_cast<unsigned>(StealRng.nextBelow(std::max<uint64_t>(
+          1, static_cast<uint64_t>(Live.size()))));
+  unsigned V = pickVictim(W, Rotation);
+  if (sim::DmaObserver *Obs = M.observer())
+    Obs->onMailbox({sim::MailboxEventKind::StealProbe, Wk.AccelId,
+                    Wk.BlockId, PS.StealsAttempted, Accel.Clock.now(),
+                    V == NoWorker ? ~0ull
+                                  : static_cast<uint64_t>(Live[V].AccelId)});
+  if (V == NoWorker) {
+    // Nothing can appear in a victim's backlog until the host dispatches
+    // again or someone else's steal lands; park until then so the drain
+    // loop cannot spin on hopeless probes.
+    Wk.StealParked = true;
+    return 0;
+  }
+  unsigned Stolen =
+      Live[V].Box->stealTailInto(*Wk.Box, Cfg.StealMinBacklog);
+  if (Stolen == 0) {
+    Wk.StealParked = true;
+    return 0;
+  }
+  ++PS.StealsSucceeded;
+  PS.DescriptorsStolen += Stolen;
+  PS.StealCycles += Cfg.StealGrantCycles + Cfg.MailboxDescriptorCycles;
+  unparkAll();
+  return Stolen;
 }
 
 void ResidentWorkerPool::closeWorker(Worker &Wk) {

@@ -35,6 +35,7 @@
 #include "offload/Offload.h"
 #include "offload/OffloadContext.h"
 #include "sim/Mailbox.h"
+#include "support/Random.h"
 
 #include <memory>
 #include <vector>
@@ -80,6 +81,15 @@ struct ResidentPoolStats {
   /// Straggling descriptors escalated to the host because no other
   /// worker was alive to take the copy.
   uint32_t HostEscalations = 0;
+  /// Steal probes issued by idle workers (each paid StealProbeCycles).
+  uint64_t StealsAttempted = 0;
+  /// Probes that found a victim and moved work (paid StealGrantCycles
+  /// plus one list-fetch MailboxDescriptorCycles on top of the probe).
+  uint64_t StealsSucceeded = 0;
+  /// Descriptors that migrated between workers through steals.
+  uint64_t DescriptorsStolen = 0;
+  /// Accelerator cycles spent probing and transferring steals.
+  uint64_t StealCycles = 0;
 
   /// Descriptors minus launches: how many per-chunk launches the
   /// resident runtime amortized away (0 when nothing was dispatched,
@@ -124,6 +134,19 @@ public:
   /// NoWorker when every mailbox is empty (the drain loop's exit).
   unsigned pickLoadedWorker() const;
 
+  /// As pickWorker, restricted to workers with an *empty* mailbox that
+  /// have not parked after a failed steal; NoWorker when none qualify.
+  /// The steal-mode drain loop's thief choice.
+  unsigned pickIdleThief() const;
+
+  /// Worker \p W's accelerator clock (the drain loop compares a
+  /// prospective thief's progress against the loaded worker's).
+  uint64_t workerClock(unsigned W) const;
+
+  /// True when the machine is configured for accelerator-side stealing
+  /// (MachineConfig::WorkStealing != StealPolicy::None).
+  bool stealingEnabled() const;
+
   /// \returns the live worker running on accelerator \p AccelId, or
   /// NoWorker when that core never launched or has died.
   unsigned findWorkerFor(unsigned AccelId) const;
@@ -135,6 +158,28 @@ public:
   /// cost, dispatch counters). The caller must leave room (dispatching
   /// to a full mailbox is fatal; see executeNext to make room).
   void dispatch(unsigned W, const sim::WorkDescriptor &Desc);
+
+  /// Host side, bulk initial placement: hands worker \p W the whole
+  /// region slice \p Descs with one doorbell (Mailbox::pushBulk). Only
+  /// meaningful when stealing is enabled — the backlog then lives in
+  /// the worker's local store and may exceed MailboxDepth.
+  void dispatchBulk(unsigned W, const std::vector<sim::WorkDescriptor> &Descs);
+
+  /// Idle worker \p W probes for a victim and, when one qualifies,
+  /// claims half its backlog tail with one list-form DMA. Always
+  /// charges \p W StealProbeCycles; success adds the grant handshake
+  /// and transfer (Mailbox::stealTailInto) and unparks every worker. A
+  /// failed probe parks \p W until the next dispatch or successful
+  /// steal, which bounds the drain loop. \returns descriptors stolen.
+  unsigned trySteal(unsigned W);
+
+  /// The deterministic victim choice for thief \p Thief given this
+  /// attempt's rotation offset \p Rotation: among live workers with at
+  /// least StealMinBacklog pending descriptors, LocalityAware prefers
+  /// the victim whose backlog tail is range-closest to the thief's last
+  /// executed chunk, then rotation order, then accelerator id; Rotation
+  /// skips the locality key. \returns NoWorker when none qualify.
+  unsigned pickVictim(unsigned Thief, unsigned Rotation) const;
 
   /// Worker side: worker \p W pops and executes its oldest descriptor.
   /// \returns true on success. On a death verdict the popped descriptor
@@ -177,6 +222,8 @@ public:
     PS.BusyCycles[Wk.StatIndex] += End - Start;
     ++PS.Chunks[Wk.StatIndex];
     ++Wk.Executed;
+    Wk.LastBegin = Desc.Begin;
+    Wk.LastEnd = Desc.End;
     if (sim::DmaObserver *Obs = M.observer())
       Obs->onDescriptor(Wk.AccelId, Wk.BlockId, Desc.Seq, Desc.Begin,
                         Desc.End, Start, End);
@@ -199,6 +246,15 @@ private:
     uint64_t BlockId = 0;
     unsigned StatIndex = 0;
     uint32_t Executed = 0;
+    /// [Begin, End) of the last descriptor this worker executed — the
+    /// locality key StealPolicy::LocalityAware scores victims by.
+    /// UINT32_MAX until the worker has executed anything.
+    uint32_t LastBegin = UINT32_MAX;
+    uint32_t LastEnd = UINT32_MAX;
+    /// Set when a steal probe found no victim; cleared by any dispatch
+    /// or successful steal. A parked worker stops probing, so the drain
+    /// loop cannot spin on hopeless probes.
+    bool StealParked = false;
     sim::LocalStore::Mark Mark;
     std::unique_ptr<OffloadContext> Ctx;
     std::unique_ptr<sim::Mailbox> Box;
@@ -235,10 +291,22 @@ private:
   /// \p Excluding; NoWorker when no other worker is alive.
   unsigned pickCopyWorker(unsigned Excluding) const;
 
+  /// True when worker \p A beats worker \p B on the deterministic
+  /// (clock, executed, accelerator id) dispatch order.
+  bool beats(unsigned A, unsigned B) const;
+
+  /// Clears every worker's StealParked flag (new work became visible).
+  void unparkAll();
+
   sim::Machine &M;
   sim::FaultInjector *Faults;
   std::vector<Worker> Live;
   ResidentPoolStats PS;
+  /// Cached MachineConfig::WorkStealing.
+  sim::StealPolicy Steal = sim::StealPolicy::None;
+  /// The rotation stream behind pickVictim's tie-break; seeded from
+  /// MachineConfig::StealSeed so victim choice replays deterministically.
+  SplitMix64 StealRng;
   uint64_t FrameStart = 0;
   uint64_t FrameEnd = 0;
   bool Closed = false;

@@ -58,6 +58,12 @@ const char *sim::mailboxEventKindName(MailboxEventKind Kind) {
     return "descriptor_fetch";
   case MailboxEventKind::MailboxDrained:
     return "mailbox_drained";
+  case MailboxEventKind::BulkDoorbell:
+    return "bulk_doorbell";
+  case MailboxEventKind::StealProbe:
+    return "steal_probe";
+  case MailboxEventKind::StealTransfer:
+    return "steal_transfer";
   }
   return "unknown_mailbox_event";
 }

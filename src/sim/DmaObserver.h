@@ -90,6 +90,13 @@ enum class MailboxEventKind : uint8_t {
   DescriptorFetch, ///< A worker DMA-fetched a descriptor.
   MailboxDrained,  ///< A dead worker's pending descriptors were taken
                    ///< back for re-queueing (Seq = how many).
+  BulkDoorbell,    ///< Host bulk-placed a whole region slice with one
+                   ///< doorbell (Seq = first descriptor, Detail = count).
+  StealProbe,      ///< An idle worker probed for a victim (Detail =
+                   ///< victim accel id, or ~0 when none qualified).
+  StealTransfer,   ///< A thief gathered a victim's backlog tail with one
+                   ///< list-form DMA (Seq = descriptors stolen, Detail =
+                   ///< victim accel id).
 };
 
 /// \returns a stable lower-case name for \p Kind (trace/report output).

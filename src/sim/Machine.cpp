@@ -50,6 +50,10 @@ void PerfCounters::print(OStream &OS) const {
   Row("cancels issued", CancelsIssued);
   Row("speculative redispatches", SpeculativeRedispatches);
   Row("deadline-missed frames", DeadlineMissedFrames);
+  Row("steals attempted", StealsAttempted);
+  Row("steals succeeded", StealsSucceeded);
+  Row("descriptors stolen", DescriptorsStolen);
+  Row("steal cycles", StealCycles);
 }
 
 Machine::Machine(const MachineConfig &Config)

@@ -104,6 +104,23 @@ enum class DeadlinePolicy : uint8_t {
   Speculate,
 };
 
+/// How a resident worker whose mailbox runs dry rebalances work
+/// (offload/ResidentWorker.h). With anything but None the host degrades
+/// to bulk initial placement (one doorbell per worker per region) and
+/// idle workers steal half a loaded victim's backlog tail through a
+/// cycle-costed handshake. None keeps the PR 3/4 host-paced dispatch
+/// bit-identically.
+enum class StealPolicy : uint8_t {
+  /// No stealing; the host paces every descriptor (the PR 4 runtime).
+  None,
+  /// Victims picked by a seeded deterministic rotation only.
+  Rotation,
+  /// Seeded rotation biased toward victims whose backlog tail is
+  /// range-adjacent to the thief's last executed chunk, so stolen
+  /// chunks keep software-cache locality.
+  LocalityAware,
+};
+
 /// Architectural parameters of the simulated heterogeneous machine.
 struct MachineConfig {
   /// Number of accelerator (SPE-like) cores. A PS3 game has 6 usable SPEs.
@@ -198,6 +215,40 @@ struct MachineConfig {
 
   /// Recovery policy for deadline misses (watchdog must be armed).
   DeadlinePolicy DeadlineRecovery = DeadlinePolicy::None;
+
+  /// Accelerator-side work stealing between resident workers. None (the
+  /// default) reproduces the host-paced PR 4 schedules cycle for cycle.
+  StealPolicy WorkStealing = StealPolicy::None;
+
+  /// Thief-side cycles per steal attempt: reading the candidate
+  /// victims' mailbox headers (queue counts) from main memory. Charged
+  /// whether or not a victim is found.
+  uint64_t StealProbeCycles = 60;
+
+  /// Thief-side cycles for the steal handshake itself: the atomic
+  /// claim (compare-and-swap on the victim's queue header) that makes
+  /// the transfer exactly-once. Charged only on a successful steal, on
+  /// top of the single list-form descriptor fetch
+  /// (MailboxDescriptorCycles covers the whole stolen list — the
+  /// getList advantage).
+  uint64_t StealGrantCycles = 120;
+
+  /// A victim must hold at least this many pending descriptors to be
+  /// robbed (the thief takes floor(size/2) from the tail, so 2 is the
+  /// useful minimum and the default).
+  unsigned StealMinBacklog = 2;
+
+  /// Seed of the deterministic victim-rotation stream. Independent of
+  /// FaultInjectionConfig::Seed so fault schedules and steal schedules
+  /// replay independently.
+  uint64_t StealSeed = 0x57EA15EEDull;
+
+  /// With stealing enabled, parallelForRange splits each worker's
+  /// static slice into this many sub-descriptors (bulk-placed with one
+  /// doorbell) so a straggling worker's tail is actually stealable.
+  /// Ignored — the split stays one slice per worker — when
+  /// WorkStealing is None.
+  unsigned StealSliceChunks = 4;
 
   /// When true the machine behaves as a traditional single-space SMP:
   /// accelerators address main memory directly at HostAccessCycles and

@@ -12,6 +12,7 @@
 #include "support/MathExtras.h"
 
 #include <algorithm>
+#include <cstddef>
 
 using namespace omm;
 using namespace omm::sim;
@@ -37,6 +38,61 @@ bool Mailbox::push(const WorkDescriptor &Desc) {
   return true;
 }
 
+void Mailbox::pushBulk(const std::vector<WorkDescriptor> &Descs) {
+  if (Descs.empty())
+    return;
+  const MachineConfig &Cfg = M.config();
+  LocalBacklog = true;
+  // One doorbell covers the whole slice: the host writes a (base,
+  // count) pair and the worker gathers the descriptors itself.
+  M.hostClock().advance(Cfg.MailboxDoorbellCycles);
+  M.hostCounters().DoorbellCycles += Cfg.MailboxDoorbellCycles;
+  uint64_t ReadyAt = M.hostClock().now();
+  for (const WorkDescriptor &Desc : Descs) {
+    ++M.accel(AccelId).Counters.DescriptorsDispatched;
+    Slots.push_back(Slot{Desc, ReadyAt, false});
+  }
+  if (DmaObserver *Obs = M.observer())
+    Obs->onMailbox({MailboxEventKind::BulkDoorbell, AccelId, BlockId,
+                    Descs.front().Seq, ReadyAt, Descs.size()});
+}
+
+unsigned Mailbox::stealTailInto(Mailbox &Thief, unsigned MinBacklog) {
+  if (Slots.size() < std::max(2u, MinBacklog))
+    return 0;
+  const MachineConfig &Cfg = M.config();
+  Accelerator &ThiefAccel = M.accel(Thief.AccelId);
+  unsigned Take = static_cast<unsigned>(Slots.size() / 2);
+  // The claim is an atomic CAS on this queue's header followed by one
+  // list-form gather of every claimed descriptor; both are thief-side
+  // costs (the victim never notices until its next pop finds the
+  // shorter queue).
+  uint64_t Cost = Cfg.StealGrantCycles + Cfg.MailboxDescriptorCycles;
+  ThiefAccel.Clock.advance(Cost);
+  ThiefAccel.Counters.StealCycles += Cost;
+  ++ThiefAccel.Counters.StealsSucceeded;
+  ThiefAccel.Counters.DescriptorsStolen += Take;
+  uint64_t LandedAt = ThiefAccel.Clock.now();
+  // Move the newest Take slots, preserving their relative order, into
+  // the thief's local-store deque; they never travel back through main
+  // memory, so the thief's pops of them skip the fetch DMA.
+  Thief.LocalBacklog = true;
+  size_t First = Slots.size() - Take;
+  for (size_t I = First, E = Slots.size(); I != E; ++I)
+    Thief.Slots.push_back(Slot{Slots[I].Desc, LandedAt, true});
+  Slots.erase(Slots.begin() + static_cast<ptrdiff_t>(First), Slots.end());
+  if (DmaObserver *Obs = M.observer())
+    Obs->onMailbox({MailboxEventKind::StealTransfer, Thief.AccelId,
+                    Thief.BlockId, Take, LandedAt, AccelId});
+  return Take;
+}
+
+uint32_t Mailbox::tailBegin() const {
+  if (Slots.empty())
+    reportFatalError("mailbox: tailBegin on an empty mailbox");
+  return Slots.back().Desc.Begin;
+}
+
 WorkDescriptor Mailbox::pop() {
   if (Slots.empty())
     reportFatalError("mailbox: pop from an empty mailbox");
@@ -59,8 +115,10 @@ WorkDescriptor Mailbox::pop() {
                       S.Desc.Seq, Accel.Clock.now(), Spin});
   }
 
-  // The descriptor itself rides a small DMA from main memory.
-  Accel.Clock.advance(Cfg.MailboxDescriptorCycles);
+  // The descriptor itself rides a small DMA from main memory — unless
+  // a steal's list-form gather already parked it in the local store.
+  if (!S.InLocalStore)
+    Accel.Clock.advance(Cfg.MailboxDescriptorCycles);
   if (DmaObserver *Obs = M.observer())
     Obs->onMailbox({MailboxEventKind::DescriptorFetch, AccelId, BlockId,
                     S.Desc.Seq, Accel.Clock.now(), S.Desc.Begin});

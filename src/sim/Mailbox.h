@@ -77,6 +77,32 @@ public:
   /// \returns false (and charges nothing) when the mailbox is full.
   bool push(const WorkDescriptor &Desc);
 
+  /// Host side, bulk initial placement: publishes the whole region
+  /// slice \p Descs with a single doorbell (one MailboxDoorbellCycles
+  /// charge for the lot — the stealing runtime's host-side saving).
+  /// The descriptors ride one list-form DMA into the worker's
+  /// local-store deque, so this mailbox leaves the bounded-FIFO regime:
+  /// the backlog may exceed MailboxDepth from here on (full() stays
+  /// false) and is bounded by the region size instead.
+  void pushBulk(const std::vector<WorkDescriptor> &Descs);
+
+  /// Worker side, the steal handshake: \p Thief's accelerator claims
+  /// the newest floor(size/2) descriptors of this backlog (order
+  /// preserved) and gathers them into its own local-store deque with a
+  /// single getList scatter/gather DMA. Charges the thief
+  /// StealGrantCycles (the atomic claim on this queue's header) plus
+  /// one MailboxDescriptorCycles (the list fetch covers every stolen
+  /// element — the list form's advantage); the victim is undisturbed.
+  /// Stolen descriptors are already local, so the thief's later pops
+  /// of them skip the descriptor-fetch DMA. \returns how many
+  /// descriptors moved (0 when fewer than \p MinBacklog are pending —
+  /// nothing is charged then; the caller pays the probe).
+  unsigned stealTailInto(Mailbox &Thief, unsigned MinBacklog);
+
+  /// Begin index of the newest pending descriptor (the locality key a
+  /// thief scores victims by). Mailbox must not be empty.
+  uint32_t tailBegin() const;
+
   /// Worker side: fetches the oldest descriptor. A worker that arrives
   /// before the doorbell rang spins in MailboxIdlePollCycles quanta
   /// until the descriptor is visible, then pays the descriptor DMA
@@ -90,7 +116,7 @@ public:
   std::vector<WorkDescriptor> drain();
 
   bool empty() const { return Slots.empty(); }
-  bool full() const { return Slots.size() >= Depth; }
+  bool full() const { return !LocalBacklog && Slots.size() >= Depth; }
   unsigned size() const { return static_cast<unsigned>(Slots.size()); }
   unsigned capacity() const { return Depth; }
   unsigned accelId() const { return AccelId; }
@@ -99,14 +125,22 @@ public:
 private:
   struct Slot {
     WorkDescriptor Desc;
-    /// Host cycle at which the doorbell write made Desc visible.
+    /// Host cycle at which the doorbell write made Desc visible (worker
+    /// cycle for stolen slots: when the steal's list DMA landed).
     uint64_t ReadyAt = 0;
+    /// True when the descriptor already sits in the worker's local
+    /// store (it arrived via a steal's list-form gather), so pop skips
+    /// the per-descriptor fetch DMA.
+    bool InLocalStore = false;
   };
 
   Machine &M;
   unsigned AccelId;
   uint64_t BlockId;
   unsigned Depth;
+  /// Set by pushBulk: the backlog lives in the worker's local-store
+  /// deque and is no longer bounded by MailboxDepth.
+  bool LocalBacklog = false;
   std::deque<Slot> Slots;
 };
 

@@ -55,6 +55,11 @@ struct PerfCounters {
   uint64_t CancelsIssued = 0; ///< Cooperative cancel requests raised.
   uint64_t SpeculativeRedispatches = 0; ///< Backup copies raced.
   uint64_t DeadlineMissedFrames = 0; ///< Frames over their cycle budget.
+  uint64_t StealsAttempted = 0; ///< Steal probes by this core's worker.
+  uint64_t StealsSucceeded = 0; ///< Probes that claimed a victim's tail.
+  uint64_t DescriptorsStolen = 0; ///< Descriptors gathered by steals.
+  uint64_t StealCycles = 0; ///< Thief cycles in probes + handshakes +
+                            ///< list-form descriptor gathers.
 
   /// \returns total DMA transfers issued.
   uint64_t dmaTransfers() const { return DmaGetsIssued + DmaPutsIssued; }
@@ -92,6 +97,10 @@ struct PerfCounters {
     CancelsIssued += Other.CancelsIssued;
     SpeculativeRedispatches += Other.SpeculativeRedispatches;
     DeadlineMissedFrames += Other.DeadlineMissedFrames;
+    StealsAttempted += Other.StealsAttempted;
+    StealsSucceeded += Other.StealsSucceeded;
+    DescriptorsStolen += Other.DescriptorsStolen;
+    StealCycles += Other.StealCycles;
   }
 
   /// Prints the counters as a small table.

@@ -171,9 +171,11 @@ void emitDescriptors(EventSink &Sink, const TraceRecorder &Rec) {
 
 void emitMailbox(EventSink &Sink, const TraceRecorder &Rec) {
   for (const MailboxEvent &E : Rec.mailboxEvents()) {
-    // Host-side transactions (doorbell, drain) land on the host track;
-    // worker-side ones (fetch, idle poll) on the core's track.
+    // Host-side transactions (doorbell, bulk doorbell, drain) land on
+    // the host track; worker-side ones (fetch, idle poll, steal probe
+    // and transfer) on the core's track.
     bool HostSide = E.Kind == MailboxEventKind::DoorbellWrite ||
+                    E.Kind == MailboxEventKind::BulkDoorbell ||
                     E.Kind == MailboxEventKind::MailboxDrained;
     int Tid = HostSide ? HostTid : accelTid(E.AccelId);
     std::string S = commonFields(mailboxEventKindName(E.Kind), "mailbox",

@@ -122,9 +122,11 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
     // The persistent-worker runtime was active: summarise mailbox
     // dispatch so amortization is visible next to the block counts.
     uint64_t Doorbells = 0, IdlePolls = 0, Drained = 0;
+    uint64_t Steals = 0, Stolen = 0;
     for (const MailboxEvent &E : Rec.mailboxEvents()) {
       switch (E.Kind) {
       case MailboxEventKind::DoorbellWrite:
+      case MailboxEventKind::BulkDoorbell:
         ++Doorbells;
         break;
       case MailboxEventKind::IdlePoll:
@@ -133,13 +135,19 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
       case MailboxEventKind::MailboxDrained:
         Drained += E.Seq;
         break;
+      case MailboxEventKind::StealTransfer:
+        ++Steals;
+        Stolen += E.Seq;
+        break;
       case MailboxEventKind::DescriptorFetch:
+      case MailboxEventKind::StealProbe:
         break;
       }
     }
     OS << "descriptors executed: " << Rec.descriptors().size()
        << " (doorbells " << Doorbells << ", idle polls " << IdlePolls
-       << ", drained on death " << Drained << ")\n";
+       << ", drained on death " << Drained << ", steals " << Steals
+       << " moving " << Stolen << ")\n";
   }
 
   if (!Rec.faults().empty()) {

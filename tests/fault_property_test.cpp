@@ -16,6 +16,8 @@
 
 #include "game/GameWorld.h"
 
+#include "offload/OffloadContext.h"
+#include "offload/Ptr.h"
 #include "sim/FaultInjector.h"
 #include "support/Random.h"
 
@@ -221,6 +223,179 @@ TEST_P(FaultRecoveryProperty, ZeroTimingRatesReproduceBaselineExactly) {
   EXPECT_EQ(Armed.HostCycles, Baseline.HostCycles);
   EXPECT_EQ(Armed.LaunchFaults, Baseline.LaunchFaults);
   EXPECT_EQ(Armed.AcceleratorsLost, Baseline.AcceleratorsLost);
+}
+
+TEST_P(FaultRecoveryProperty, StealingFramesMatchFaultFreeBitForBit) {
+  // Work stealing moves descriptors between workers, never their
+  // boundaries: frames computed under stealing — with deaths, DMA
+  // faults and scheduled mid-queue kills layered on top — stay
+  // bit-identical to the fault-free, steal-free world.
+  RunResult Reference = runResidentFrames(MachineConfig::cellLike());
+  for (StealPolicy Policy :
+       {StealPolicy::Rotation, StealPolicy::LocalityAware}) {
+    MachineConfig Clean = MachineConfig::cellLike();
+    Clean.WorkStealing = Policy;
+    MachineConfig Faulty = Clean;
+    Faulty.Faults = faultsFor(GetParam());
+    RunResult StealClean = runResidentFrames(Clean);
+    RunResult StealFaulty = runResidentFrames(Faulty, GetParam());
+    EXPECT_EQ(StealClean.Checksum, Reference.Checksum)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+    EXPECT_EQ(StealFaulty.Checksum, Reference.Checksum)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+  }
+}
+
+TEST_P(FaultRecoveryProperty, StealingScheduleReplaysCycleForCycle) {
+  MachineConfig Cfg = MachineConfig::cellLike();
+  Cfg.WorkStealing = StealPolicy::LocalityAware;
+  Cfg.Faults = faultsFor(GetParam());
+  RunResult First = runResidentFrames(Cfg, GetParam());
+  RunResult Second = runResidentFrames(Cfg, GetParam());
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
+  EXPECT_EQ(First.LaunchFaults, Second.LaunchFaults);
+  EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
+}
+
+TEST_P(FaultRecoveryProperty, StealingWithTimingFaultsNeverChangesResults) {
+  // Steals interleave with hangs, stragglers and deadline recovery; the
+  // combination must still be time-only.
+  RunResult Reference = runResidentFrames(MachineConfig::cellLike());
+  for (DeadlinePolicy Policy :
+       {DeadlinePolicy::None, DeadlinePolicy::CancelRestart,
+        DeadlinePolicy::Speculate}) {
+    MachineConfig Cfg = timingFaultConfig(GetParam(), Policy);
+    Cfg.WorkStealing = StealPolicy::LocalityAware;
+    RunResult Injected = runResidentFrames(Cfg);
+    EXPECT_EQ(Injected.Checksum, Reference.Checksum)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+  }
+}
+
+TEST_P(FaultRecoveryProperty, ZeroedStealPolicyReproducesBaselineExactly) {
+  // StealPolicy::None with every other steal knob scrambled must
+  // reproduce the steal-free schedule cycle for cycle — None means the
+  // pre-stealing dispatch path, untouched.
+  RunResult Baseline = runResidentFrames(MachineConfig::cellLike());
+  SplitMix64 Rng(GetParam() ^ 0x57EA1);
+  MachineConfig Cfg = MachineConfig::cellLike();
+  Cfg.WorkStealing = StealPolicy::None;
+  Cfg.StealProbeCycles = Rng.nextBelow(10000);
+  Cfg.StealGrantCycles = Rng.nextBelow(10000);
+  Cfg.StealMinBacklog = static_cast<unsigned>(Rng.nextBelow(16));
+  Cfg.StealSeed = Rng.next();
+  Cfg.StealSliceChunks = 1 + static_cast<unsigned>(Rng.nextBelow(15));
+  RunResult Scrambled = runResidentFrames(Cfg);
+  EXPECT_EQ(Scrambled.Checksum, Baseline.Checksum);
+  EXPECT_EQ(Scrambled.HostCycles, Baseline.HostCycles);
+  EXPECT_EQ(Scrambled.LaunchFaults, Baseline.LaunchFaults);
+  EXPECT_EQ(Scrambled.AcceleratorsLost, Baseline.AcceleratorsLost);
+}
+
+namespace {
+
+/// 16-byte record for list-form gather/scatter (DMA-alignment sized).
+struct ListRecord {
+  uint64_t A = 0;
+  uint64_t B = 0;
+};
+
+/// Gathers every other record of an outer array with one getList,
+/// increments them locally, scatters them back with one putList.
+/// \returns the final main-memory contents. \p Retries receives the
+/// accelerator's DMA retry count.
+std::vector<ListRecord> runListGatherScatter(const MachineConfig &Cfg,
+                                             uint64_t *Retries = nullptr) {
+  constexpr uint32_t NumRecords = 16;
+  constexpr unsigned Gathered = NumRecords / 2;
+  Machine M(Cfg);
+  offload::OuterPtr<ListRecord> Data =
+      offload::allocOuterArray<ListRecord>(M, NumRecords);
+  for (uint32_t I = 0; I != NumRecords; ++I)
+    M.mainMemory().writeValue((Data + I).addr(),
+                              ListRecord{I * 31 + 7, I * 17 + 3});
+  {
+    offload::OffloadContext Ctx(M, 0);
+    LocalAddr Local = Ctx.localAllocArray<ListRecord>(Gathered);
+    DmaEngine::ListElement Elements[Gathered];
+    for (unsigned E = 0; E != Gathered; ++E)
+      Elements[E] = {Local + E * sizeof(ListRecord),
+                     (Data + E * 2).addr(),
+                     static_cast<uint32_t>(sizeof(ListRecord))};
+    // One list-form command each way; a transient MFC rejection at the
+    // gate re-issues the *whole* list after the backoff.
+    Ctx.dmaGetList(Elements, Gathered, /*Tag=*/0);
+    Ctx.dmaWait(0);
+    for (unsigned E = 0; E != Gathered; ++E) {
+      LocalAddr At = Local + E * sizeof(ListRecord);
+      ListRecord R = Ctx.localRead<ListRecord>(At);
+      ++R.A;
+      R.B += 2;
+      Ctx.localWrite(At, R);
+    }
+    Ctx.dmaPutList(Elements, Gathered, /*Tag=*/0);
+    Ctx.dmaWait(0);
+  }
+  if (Retries)
+    *Retries = M.accel(0).Counters.DmaRetries;
+  std::vector<ListRecord> Out(NumRecords);
+  for (uint32_t I = 0; I != NumRecords; ++I)
+    Out[I] = M.mainMemory().readValue<ListRecord>((Data + I).addr());
+  return Out;
+}
+
+bool sameRecords(const std::vector<ListRecord> &X,
+                 const std::vector<ListRecord> &Y) {
+  if (X.size() != Y.size())
+    return false;
+  for (size_t I = 0; I != X.size(); ++I)
+    if (X[I].A != Y[I].A || X[I].B != Y[I].B)
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(ListDmaFaults, TransientRejectionRetriesTheWholeListExactlyOnce) {
+  // DmaFailRate = 1 with MaxDmaRetries = 1 rejects every command
+  // exactly once (the cap resets the burst), so each of the two list
+  // commands is re-issued exactly once — and the data must come out
+  // bit-identical to the fault-free run.
+  MachineConfig Clean;
+  MachineConfig Faulty;
+  Faulty.Faults.Enabled = true;
+  Faulty.Faults.Seed = 7;
+  Faulty.Faults.DmaFailRate = 1.0f;
+  Faulty.Faults.MaxDmaRetries = 1;
+  uint64_t CleanRetries = 0, FaultyRetries = 0;
+  std::vector<ListRecord> Reference = runListGatherScatter(Clean,
+                                                           &CleanRetries);
+  std::vector<ListRecord> Injected = runListGatherScatter(Faulty,
+                                                          &FaultyRetries);
+  EXPECT_TRUE(sameRecords(Injected, Reference));
+  EXPECT_EQ(CleanRetries, 0u);
+  // One getList + one putList, each rejected once: two retries total,
+  // never one per list element.
+  EXPECT_EQ(FaultyRetries, 2u);
+}
+
+TEST_P(FaultRecoveryProperty, ListDmaSurvivesRandomRejectionMixes) {
+  // Property form: for ANY seeded mix of rejections and completion
+  // delays, list-form gather/scatter results stay bit-identical and
+  // the schedule replays cycle-for-cycle.
+  MachineConfig Clean;
+  MachineConfig Faulty;
+  Faulty.Faults = faultsFor(GetParam());
+  Faulty.Faults.AccelDeathRate = 0.0f; // Keep core 0 alive; DMA only.
+  std::vector<ListRecord> Reference = runListGatherScatter(Clean);
+  std::vector<ListRecord> First = runListGatherScatter(Faulty);
+  std::vector<ListRecord> Second = runListGatherScatter(Faulty);
+  EXPECT_TRUE(sameRecords(First, Reference)) << "seed " << GetParam();
+  EXPECT_TRUE(sameRecords(First, Second)) << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultRecoveryProperty,

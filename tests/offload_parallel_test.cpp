@@ -174,7 +174,7 @@ TEST(LocalScope, NestsProperly) {
 TEST(LocalScope, RepeatedBatchesDoNotExhaustTheStore) {
   // The pattern that motivated LocalScope: a loop of accessor batches.
   Machine M;
-  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, 64);
+  allocOuterArray<uint64_t>(M, 64);
   offloadSync(M, [&](OffloadContext &Ctx) {
     for (int Batch = 0; Batch != 10000; ++Batch) {
       OffloadContext::LocalScope Scope(Ctx);

@@ -24,7 +24,10 @@ form against the committed snapshot:
 `--require p99_cycles '<=+5%' baseline` passes when every row's
 p99_cycles is at most 5% above the baseline row's value (requires
 --baseline; a row with no baseline counterpart fails the gate).
-Exit status: 0 clean, 1 malformed input, 2 a --require failed.
+Exit status: 0 clean, 1 malformed input (including a --baseline
+directory with no snapshot for the experiment, or a non-numeric
+--require VALUE), 2 a --require failed (including a counter the row
+does not carry). All failures are one-line messages, never tracebacks.
 """
 
 import argparse
@@ -96,7 +99,8 @@ def main():
             if os.path.exists(base_path):
                 base = index_by_name(load(base_path))
             else:
-                print(f"note: no baseline {base_path}; deltas skipped")
+                sys.exit(f"error: no baseline for experiment "
+                         f"'{experiment}': {base_path} does not exist")
 
         header = ["benchmark", "sim_cycles"] + counters
         if base:
@@ -141,7 +145,12 @@ def main():
                         continue
                     base_op, pct = relative.groups()
                     bound = ref_val * (1.0 + float(pct) / 100.0)
-                    if have is None or not OPS[base_op](have, bound):
+                    if have is None:
+                        print(f"REQUIRE FAILED: {name}: counter "
+                              f"{counter!r} is absent from this row",
+                              file=sys.stderr)
+                        failures += 1
+                    elif not OPS[base_op](have, bound):
                         print(f"REQUIRE FAILED: {name}: {counter}={have} "
                               f"not {base_op} {bound:g} "
                               f"(baseline {ref_val:g} {op})",
@@ -150,7 +159,17 @@ def main():
                     continue
                 if op not in OPS:
                     sys.exit(f"error: unknown operator {op!r}")
-                if have is None or not OPS[op](have, float(value)):
+                try:
+                    want = float(value)
+                except ValueError:
+                    sys.exit(f"error: --require {counter} {op} needs a "
+                             f"numeric VALUE (or a relative OP like "
+                             f"'<=+5%'), got {value!r}")
+                if have is None:
+                    print(f"REQUIRE FAILED: {name}: counter {counter!r} "
+                          f"is absent from this row", file=sys.stderr)
+                    failures += 1
+                elif not OPS[op](have, want):
                     print(f"REQUIRE FAILED: {name}: {counter}={have} "
                           f"not {op} {value}", file=sys.stderr)
                     failures += 1

@@ -10,12 +10,14 @@
 #   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts
 #                    on, warnings promoted to errors), everything
 #                    except the `soak` label
-#   2. bench smoke — tiny E10 + E11 + E12 runs: the benches abort on
-#                    any checksum divergence, and bench_summary.py
-#                    asserts the finest-chunk speedup floor (E10), the
-#                    p99 frame-cycle tail against the committed
-#                    baseline (E11), and the work-stealing p99 win
-#                    floor (E12)
+#   2. bench smoke — tiny E10 + E11 + E12 + E13 runs: the benches
+#                    abort on any checksum divergence, and
+#                    bench_summary.py asserts the finest-chunk speedup
+#                    floor (E10), the p99 frame-cycle tail against the
+#                    committed baseline (E11), the work-stealing p99
+#                    win floor (E12), and the parcel-dataflow
+#                    frame-cycle win over the host-staged schedule
+#                    (E13)
 #   3. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
 #   4. soak        — the long randomised fault-injection endurance runs,
 #                    under the sanitizer build where their randomly
@@ -50,8 +52,11 @@ echo "=== bench smoke: watchdog deadlines (E11) ==="
 python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
     --baseline BENCH_baseline \
     --counters p99_cycles,stragglers,spec_redispatches
+# The gate is scoped to the rows this smoke run produced: with
+# --require, bench_summary also fails on baseline rows missing from
+# the candidate, so an unfiltered gate over a filtered run would trip.
 python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
-    --baseline BENCH_baseline \
+    --baseline BENCH_baseline --filter 'straggler_pm:50/|HungWorkers' \
     --require p99_cycles '<=+5%' baseline
 
 echo "=== bench smoke: work stealing (E12) ==="
@@ -69,6 +74,26 @@ python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
 python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
     --filter 'StragglerSteal' \
     --require p99_win_vs_none '>=' 1.3
+
+echo "=== bench smoke: parcel dataflow (E13) ==="
+( cd build/bench && ./bench_e13_parcels \
+      --json=BENCH_e13_smoke.json \
+      --filter 'FrameSchedule' )
+python3 tools/bench_summary.py build/bench/BENCH_e13_smoke.json \
+    --baseline BENCH_baseline --filter 'FrameSchedule' \
+    --counters win_vs_staged,host_round_trips_eliminated
+# The headline claim: once every worker seeds a continuation chain,
+# the dataflow frame beats the host-staged schedule outright.  The
+# sim is deterministic, so an exact >= 1.0 floor is stable.
+python3 tools/bench_summary.py build/bench/BENCH_e13_smoke.json \
+    --filter 'FrameSchedule/workers:4/dataflow:1' \
+    --require win_vs_staged '>=' 1.0
+python3 tools/bench_summary.py build/bench/BENCH_e13_smoke.json \
+    --filter 'FrameSchedule/workers:6/dataflow:1' \
+    --require win_vs_staged '>=' 1.0
+python3 tools/bench_summary.py build/bench/BENCH_e13_smoke.json \
+    --filter 'FrameSchedule/workers:6/dataflow:1' \
+    --require host_round_trips_eliminated '>' 0
 
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON

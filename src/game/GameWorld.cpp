@@ -10,9 +10,11 @@
 #include "offload/DoubleBuffer.h"
 #include "offload/JobQueue.h"
 #include "offload/Offload.h"
+#include "offload/Parcel.h"
 #include "offload/SetAssociativeCache.h"
 
 #include <type_traits>
+#include <vector>
 
 using namespace omm;
 using namespace omm::game;
@@ -320,6 +322,185 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
 
   updateAndRender(Stats);
 
+  finishFrame(Stats, FrameStart);
+  return Stats;
+}
+
+template <typename ContextT>
+void GameWorld::aiStageShard(ContextT &Ctx, uint32_t Begin, uint32_t End) {
+  uint32_t Count = Entities.size();
+  offload::OuterPtr<TargetInfo> Targets(Snapshot);
+  for (uint32_t I = Begin; I != End; ++I) {
+    GameEntity Self =
+        Ctx.template outerRead<GameEntity>(Entities.entity(I).addr());
+    TargetInfo Target = Ctx.template outerRead<TargetInfo>(
+        (Targets + defaultTargetFor(I, Count)).addr());
+    AiDecision Decision =
+        calculateStrategy(Self, Target, Params.Dt, Params.Ai);
+    Ctx.compute(uint64_t(Decision.NodesEvaluated) * Params.Ai.CyclesPerNode);
+    Ctx.outerWrite(Entities.entity(I).addr(), Self);
+  }
+}
+
+template <typename ContextT>
+void GameWorld::collisionStageShard(ContextT &Ctx, uint32_t Begin,
+                                    uint32_t End, FrameStats &Stats) {
+  // The whole shard stages in (plain C++ scratch; the simulated costs
+  // are the outer reads and the per-test/response compute charges), all
+  // pairs inside it are tested in ascending (A, B) order, and the shard
+  // writes back. Entities outside [Begin, End) are never touched, which
+  // is what lets this stage run while a neighbouring shard is still in
+  // its AI stage.
+  uint32_t N = End - Begin;
+  std::vector<GameEntity> Shard(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    Shard[I] = Ctx.template outerRead<GameEntity>(
+        Entities.entity(Begin + I).addr());
+    Ctx.compute(Params.Collision.CyclesPerHash);
+  }
+  for (uint32_t A = 0; A != N; ++A)
+    for (uint32_t B = A + 1; B != N; ++B) {
+      Ctx.compute(Params.Collision.CyclesPerPairTest);
+      ++Stats.PairsTested;
+      if (!spheresOverlap(Shard[A].Position, Shard[A].Radius,
+                          Shard[B].Position, Shard[B].Radius))
+        continue;
+      Ctx.compute(Params.Collision.CyclesPerResponse);
+      if (respondToCollision(Shard[A], Shard[B]))
+        ++Stats.Contacts;
+    }
+  for (uint32_t I = 0; I != N; ++I)
+    Ctx.outerWrite(Entities.entity(Begin + I).addr(), Shard[I]);
+}
+
+template <typename ContextT>
+void GameWorld::physicsStageShard(ContextT &Ctx, uint32_t Begin,
+                                  uint32_t End) {
+  for (uint32_t I = Begin; I != End; ++I) {
+    GameEntity E =
+        Ctx.template outerRead<GameEntity>(Entities.entity(I).addr());
+    Ctx.compute(Params.Physics.CyclesPerIntegrate);
+    integrateEntity(E, Params.Dt, Params.WorldHalfExtent, Params.Physics);
+    Ctx.outerWrite(Entities.entity(I).addr(), E);
+  }
+}
+
+void GameWorld::blendAndRender(FrameStats &Stats) {
+  uint64_t Start = M.hostClock().now();
+  Anim.blendPassHost(Frame, Params.Animation, 0, Anim.size());
+  Stats.UpdateCycles += M.hostClock().now() - Start;
+
+  Start = M.hostClock().now();
+  M.hostCompute(uint64_t(Entities.size()) * Params.RenderCyclesPerEntity);
+  Stats.RenderCycles = M.hostClock().now() - Start;
+}
+
+FrameStats GameWorld::doFrameStaged(unsigned MaxAccelerators) {
+  FrameStats Stats;
+  uint64_t FrameStart = M.hostClock().now();
+
+  buildTargetSnapshot();
+
+  // Three resident passes with a full host round trip between them:
+  // each distributeJobs opens its own pool, doorbells every shard,
+  // joins, and closes before the next stage may start. Fixed-size
+  // shards (no adaptive carving) so the shard boundaries — and with
+  // them the collision pair set — match doFrameDataflow's exactly.
+  offload::JobQueueOptions Opts;
+  Opts.ChunkSize = std::max(1u, Params.StageShardElems);
+  Opts.MaxWorkers = MaxAccelerators;
+
+  auto Fold = [&](const offload::JobRunStats &Run) {
+    Stats.FailedBlocks += Run.FailedLaunches;
+    Stats.FailoverSlices += Run.RequeuedChunks;
+    Stats.HostFallbackSlices += Run.HostChunks + Run.HostEscalations;
+    Stats.AiDescriptors += static_cast<uint32_t>(Run.DescriptorsDispatched);
+    Stats.AiLaunchesSaved += Run.LaunchesSaved;
+    Stats.AiHangs += Run.Hangs;
+    Stats.AiStragglers += Run.Stragglers;
+    Stats.AiSpeculative += Run.SpeculativeRedispatches;
+    Stats.AiCancels += Run.Cancels;
+    Stats.AiSteals += static_cast<uint32_t>(Run.StealsSucceeded);
+    Stats.AiDescriptorsStolen +=
+        static_cast<uint32_t>(Run.DescriptorsStolen);
+  };
+
+  uint64_t Start = M.hostClock().now();
+  Fold(offload::distributeJobs(
+      M, Entities.size(), Opts, [&](auto &Ctx, uint32_t Begin, uint32_t End) {
+        aiStageShard(Ctx, Begin, End);
+      }));
+  Stats.AiCycles = M.hostClock().now() - Start;
+
+  Start = M.hostClock().now();
+  Fold(offload::distributeJobs(
+      M, Entities.size(), Opts, [&](auto &Ctx, uint32_t Begin, uint32_t End) {
+        collisionStageShard(Ctx, Begin, End, Stats);
+      }));
+  Stats.CollisionCycles = M.hostClock().now() - Start;
+
+  Start = M.hostClock().now();
+  Fold(offload::distributeJobs(
+      M, Entities.size(), Opts, [&](auto &Ctx, uint32_t Begin, uint32_t End) {
+        physicsStageShard(Ctx, Begin, End);
+      }));
+  Stats.UpdateCycles = M.hostClock().now() - Start;
+
+  blendAndRender(Stats);
+  finishFrame(Stats, FrameStart);
+  return Stats;
+}
+
+FrameStats GameWorld::doFrameDataflow(sim::ParcelPolicy Policy,
+                                      unsigned MaxAccelerators) {
+  FrameStats Stats;
+  uint64_t FrameStart = M.hostClock().now();
+
+  buildTargetSnapshot();
+
+  // One pool, one seeding pass, one join: AI shards chain into their
+  // collision shard, collision into physics, entirely worker-to-worker.
+  offload::DataflowOptions Opts;
+  Opts.ChunkSize = std::max(1u, Params.StageShardElems);
+  Opts.MaxWorkers = MaxAccelerators;
+  Opts.NumStages = 3;
+  Opts.Policy = Policy;
+  uint64_t Start = M.hostClock().now();
+  offload::DataflowStats Run = offload::runDataflow(
+      M, Entities.size(), Opts,
+      [&](auto &Ctx, const sim::WorkDescriptor &Desc) {
+        switch (Desc.Kernel) {
+        case 1:
+          aiStageShard(Ctx, Desc.Begin, Desc.End);
+          break;
+        case 2:
+          collisionStageShard(Ctx, Desc.Begin, Desc.End, Stats);
+          break;
+        default:
+          physicsStageShard(Ctx, Desc.Begin, Desc.End);
+          break;
+        }
+      });
+  // The stages pipeline, so there is no per-stage wall time to report:
+  // the whole region lands in AiCycles and the frame total tells the
+  // story (bench_e13 compares it against doFrameStaged's).
+  Stats.AiCycles = M.hostClock().now() - Start;
+  Stats.FailedBlocks = Run.FailedLaunches;
+  Stats.FailoverSlices = Run.RequeuedChunks;
+  Stats.HostFallbackSlices = Run.HostChunks + Run.HostEscalations;
+  Stats.AiDescriptors = static_cast<uint32_t>(Run.DescriptorsDispatched);
+  Stats.AiLaunchesSaved = Run.LaunchesSaved;
+  Stats.AiHangs = Run.Hangs;
+  Stats.AiStragglers = Run.Stragglers;
+  Stats.AiSpeculative = Run.SpeculativeRedispatches;
+  Stats.AiCancels = Run.Cancels;
+  Stats.AiSteals = static_cast<uint32_t>(Run.StealsSucceeded);
+  Stats.AiDescriptorsStolen = static_cast<uint32_t>(Run.DescriptorsStolen);
+  Stats.ParcelsSpawned = static_cast<uint32_t>(Run.ParcelsSpawned);
+  Stats.PeerDoorbellCycles = Run.PeerDoorbellCycles;
+  Stats.HostRoundTripsEliminated = Run.HostRoundTripsEliminated;
+
+  blendAndRender(Stats);
   finishFrame(Stats, FrameStart);
   return Stats;
 }

@@ -31,6 +31,7 @@
 #include "game/Collision.h"
 #include "game/EntityStore.h"
 #include "game/Physics.h"
+#include "sim/Mailbox.h"
 
 #include <cstdint>
 
@@ -48,6 +49,11 @@ struct GameWorldParams {
   AnimationParams Animation;
   uint64_t RenderCyclesPerEntity = 150; ///< Host-side render submission.
   uint32_t AiChunkElems = 32; ///< Double-buffer chunk for offloaded AI.
+  /// Shard width of the staged schedules (doFrameStaged /
+  /// doFrameDataflow): every stage — AI, shard-confined collision,
+  /// physics — runs over fixed [k*N, (k+1)*N) shards of this many
+  /// entities, so both schedules agree on the collision pair set.
+  uint32_t StageShardElems = 64;
   /// When true the offloaded AI pass issues an asynchronous cache
   /// prefetch for the *next* entity's target snapshot while processing
   /// the current one (the Balart-style async cache elaboration;
@@ -91,6 +97,14 @@ struct FrameStats {
   /// decision/pose).
   uint32_t AiEntitiesShed = 0;
   uint32_t AnimEntitiesShed = 0;
+  /// Staged-dataflow schedule (doFrameDataflow; zero elsewhere):
+  /// continuation parcels spawned worker-to-worker, the spawner cycles
+  /// they cost, and the per-stage host round trips they deleted (every
+  /// parcel replaces one join + re-carve + doorbell crossing of the
+  /// host in the staged schedule).
+  uint32_t ParcelsSpawned = 0;
+  uint64_t PeerDoorbellCycles = 0;
+  uint64_t HostRoundTripsEliminated = 0;
   /// True when the frame exceeded GameWorldParams::FrameBudgetCycles
   /// (raises the degradation level for the frames after it).
   bool DeadlineMissed = false;
@@ -132,6 +146,30 @@ public:
   /// mailbox drains back to the queue); FrameStats records the dispatch
   /// and recovery work.
   FrameStats doFrameOffloadAiResident(unsigned MaxAccelerators = ~0u);
+
+  /// The host-staged shard schedule: three sequential resident passes —
+  /// AI, shard-confined collision, physics — each a distributeJobs
+  /// region over fixed StageShardElems shards, with the host joining
+  /// and re-seeding between stages (the per-stage round trip
+  /// doFrameDataflow deletes). Collision is restricted to pairs whose
+  /// entities share a shard, so this schedule's state differs from the
+  /// global-broadphase schedules — its bit-identity partner is
+  /// doFrameDataflow, which computes the same shards in dataflow order.
+  FrameStats doFrameStaged(unsigned MaxAccelerators = ~0u);
+
+  /// The parcel dataflow schedule: the same three shard stages as
+  /// doFrameStaged, but chained accelerator-side — the host seeds only
+  /// the AI stage, each completed AI shard spawns its collision shard
+  /// as a parcel into a peer worker's mailbox (under \p Policy), and
+  /// collision spawns physics the same way; the host blocks only on
+  /// frame completion. Bit-identical world state to doFrameStaged by
+  /// construction (stages are shard-confined, so the drain interleaving
+  /// cannot matter); FrameStats records the parcel traffic and the
+  /// deleted host round trips. ParcelPolicy::None degenerates to the
+  /// AI stage alone (no continuations exist to run the later stages),
+  /// so callers wanting the full frame must pass a real policy.
+  FrameStats doFrameDataflow(sim::ParcelPolicy Policy = sim::ParcelPolicy::Ring,
+                             unsigned MaxAccelerators = ~0u);
 
   /// Bit-exact world state checksum (entities + poses).
   uint64_t checksum() const;
@@ -180,6 +218,27 @@ private:
 
   /// detectCollisions: broadphase + narrowphase on the host.
   void collisionPassHost(FrameStats &Stats);
+
+  /// The staged-schedule shard stages, written against the generic
+  /// context surface (compute + outer accesses) so the same body runs
+  /// on a resident worker or as host fallback with identical float
+  /// math — the staged/dataflow bit-identity rests on that. Each stage
+  /// reads and writes entities in [Begin, End) only.
+  template <typename ContextT>
+  void aiStageShard(ContextT &Ctx, uint32_t Begin, uint32_t End);
+  /// Shard-confined collision: every (A, B) pair inside the shard is
+  /// tested in ascending order and resolved in place. Bumps
+  /// \p Stats.PairsTested / Contacts (descriptors run exactly once even
+  /// under faults, so the counts are deterministic).
+  template <typename ContextT>
+  void collisionStageShard(ContextT &Ctx, uint32_t Begin, uint32_t End,
+                           FrameStats &Stats);
+  template <typename ContextT>
+  void physicsStageShard(ContextT &Ctx, uint32_t Begin, uint32_t End);
+
+  /// Shared epilogue of the shard schedules: host-side animation blend
+  /// and render submission (neither is staged), timed into \p Stats.
+  void blendAndRender(FrameStats &Stats);
 
   /// updateEntities + renderFrame (host).
   void updateAndRender(FrameStats &Stats);

@@ -146,8 +146,9 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   // new chunk is carved so recovery preserves queue order.
   std::vector<sim::WorkDescriptor> Orphans;
   size_t OrphanHead = 0;
-  uint32_t Next = 0;
-  uint64_t Seq = 0;
+  // All carving goes through the shared plan (the runtime's single
+  // descriptor-construction site); both branches below advance it.
+  DispatchPlan Plan(Count);
 
   if (Pool.stealingEnabled() && Pool.liveCount() > 0) {
     // Stealing mode: bulk initial placement instead of host-paced eager
@@ -163,12 +164,8 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
     for (unsigned W = 0; W != Workers; ++W) {
       uint32_t ChunksHere = PerWorker + (W < Remainder ? 1 : 0);
       Region.clear();
-      for (uint32_t C = 0; C != ChunksHere && Next < Count; ++C) {
-        uint32_t End = std::min(Count, Next + ChunkSize);
-        Region.push_back(
-            sim::WorkDescriptor{Next, End, Seq++, sim::WorkDescriptor::NoHome});
-        Next = End;
-      }
+      for (uint32_t C = 0; C != ChunksHere && !Plan.done(); ++C)
+        Region.push_back(Plan.chunk(ChunkSize));
       Pool.dispatchBulk(W, Region);
     }
     // Drain: orphans from dead workers are re-dispatched first; then,
@@ -207,7 +204,7 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
     }
   }
 
-  while (Next < Count || OrphanHead < Orphans.size()) {
+  while (!Plan.done() || OrphanHead < Orphans.size()) {
     sim::WorkDescriptor Desc;
     if (OrphanHead < Orphans.size()) {
       Desc = Orphans[OrphanHead++];
@@ -216,12 +213,9 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
       if (Opts.Adaptive && Pool.liveCount() > 0)
         // Guided self-scheduling: hand out 1/(target * workers) of what
         // remains, never below the configured floor.
-        Chunk = std::max(ChunkSize, (Count - Next) /
+        Chunk = std::max(ChunkSize, Plan.remaining() /
                                         (TargetPerWorker * Pool.liveCount()));
-      uint32_t End = std::min(Count, Next + Chunk);
-      Desc = sim::WorkDescriptor{Next, End, Seq++,
-                                 sim::WorkDescriptor::NoHome};
-      Next = End;
+      Desc = Plan.chunk(Chunk);
     }
     if (Pool.liveCount() == 0) {
       // Nowhere left to offload: the host works the queue itself.
@@ -263,7 +257,10 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   return Stats;
 }
 
-/// Fixed-chunk convenience overload (the original interface).
+/// Fixed-chunk convenience overload. Deprecated shim: the original
+/// pre-JobQueueOptions interface, kept so existing call sites compile;
+/// new code should pass JobQueueOptions (and gets the adaptive policy
+/// and the DispatchPlan-carved descriptors either way).
 template <typename BodyFn>
 JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
                            uint32_t ChunkSize, BodyFn &&Body,

@@ -41,6 +41,7 @@
 
 #include "offload/OffloadContext.h"
 #include "sim/Machine.h"
+#include "sim/Mailbox.h"
 #include "support/Diag.h"
 
 #include <algorithm>
@@ -393,6 +394,105 @@ public:
 
 private:
   std::vector<OffloadHandle> Handles;
+};
+
+/// The offload runtime's single WorkDescriptor construction site. Every
+/// dispatch entry point — distributeJobs' bulk placement and host-paced
+/// carving, parallelForRange's static slice split, and the resident
+/// workers' continuation-parcel spawn — builds its descriptors through
+/// one DispatchPlan, so descriptor layout (sequence numbering, homes,
+/// stage/continuation decoration) has exactly one author and a new
+/// field lands everywhere at once.
+///
+/// A plan walks [0, Count) left to right: each carve call takes the
+/// next span and stamps it with the monotonically increasing sequence
+/// number and the current stage decoration. The carving arithmetic is
+/// the historical one, verbatim, so plans reproduce the pre-plan
+/// schedules bit for bit.
+class DispatchPlan {
+public:
+  explicit DispatchPlan(uint32_t Count) : Count(Count) {}
+
+  /// Decorates every subsequently carved descriptor: it runs stage
+  /// \p Kernel and, when \p NextKernel != 0, spawns a same-range
+  /// continuation parcel under \p Policy on completion. The default
+  /// plan carves undecorated (kernel 0, no continuation) descriptors —
+  /// the pre-parcel runtime.
+  DispatchPlan &stage(uint16_t Kernel, uint16_t NextKernel,
+                      sim::ParcelPolicy Policy) {
+    StageKernel = Kernel;
+    StageNext = NextKernel;
+    StagePolicy = Policy;
+    return *this;
+  }
+
+  /// True when the whole range has been carved.
+  bool done() const { return Next >= Count; }
+
+  /// Indices not yet carved.
+  uint32_t remaining() const { return Count - Next; }
+
+  /// Sequence number the next carved descriptor will take.
+  uint64_t seq() const { return Seq; }
+
+  /// Carves the next fixed-size chunk [Next, min(Next + ChunkSize,
+  /// Count)) — distributeJobs' unit, including the adaptive policy
+  /// (which just varies ChunkSize per call).
+  sim::WorkDescriptor chunk(uint32_t ChunkSize,
+                            unsigned Home = sim::WorkDescriptor::NoHome) {
+    uint32_t End = std::min(Count, Next + std::max(1u, ChunkSize));
+    return take(End, Home);
+  }
+
+  /// Carves the explicit-length slice [Next, Next + Len) —
+  /// parallelForRange's static split unit (Len from the per-worker
+  /// remainder distribution, which stays at the call site because it
+  /// depends on the worker budget, not on descriptor layout).
+  sim::WorkDescriptor slice(uint32_t Len, unsigned Home) {
+    return take(Next + Len, Home);
+  }
+
+  /// The continuation construction site: the child descriptor a
+  /// completed \p Parent spawns as a parcel. Same [Begin, End) payload
+  /// span; the child runs Parent.NextKernel and chains on to
+  /// \p NextNext (0 ends the chain, clearing the policy so
+  /// hasContinuation() goes false).
+  static sim::WorkDescriptor continuation(const sim::WorkDescriptor &Parent,
+                                          uint16_t NextNext, uint64_t Seq,
+                                          unsigned Home) {
+    sim::WorkDescriptor Child;
+    Child.Begin = Parent.Begin;
+    Child.End = Parent.End;
+    Child.Seq = Seq;
+    Child.Home = Home;
+    Child.Kernel = Parent.NextKernel;
+    Child.NextKernel = NextNext;
+    Child.Policy =
+        NextNext != 0 ? Parent.Policy : sim::ParcelPolicy::None;
+    return Child;
+  }
+
+private:
+  /// Takes [Next, End), advancing the cursor and sequence number.
+  sim::WorkDescriptor take(uint32_t End, unsigned Home) {
+    sim::WorkDescriptor Desc;
+    Desc.Begin = Next;
+    Desc.End = End;
+    Desc.Seq = Seq++;
+    Desc.Home = Home;
+    Desc.Kernel = StageKernel;
+    Desc.NextKernel = StageNext;
+    Desc.Policy = StageNext != 0 ? StagePolicy : sim::ParcelPolicy::None;
+    Next = End;
+    return Desc;
+  }
+
+  uint32_t Count;
+  uint32_t Next = 0;
+  uint64_t Seq = 0;
+  uint16_t StageKernel = 0;
+  uint16_t StageNext = 0;
+  sim::ParcelPolicy StagePolicy = sim::ParcelPolicy::None;
 };
 
 } // namespace omm::offload

@@ -143,14 +143,15 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
   // sub-descriptors through one bulk doorbell, so a thief can later
   // claim part of a slice instead of all-or-nothing.
   const bool Stealing = Pool.stealingEnabled() && Pool.liveCount() > 0;
-  uint32_t Begin = 0;
-  uint64_t Seq = 0;
+  // Slices are carved through the shared plan (the runtime's single
+  // descriptor-construction site); only the per-worker lengths are
+  // computed here, because they depend on the worker budget.
+  DispatchPlan Plan(Count);
   std::vector<sim::WorkDescriptor> Region;
   for (unsigned W = 0; W != Workers; ++W) {
     uint32_t Len = PerWorker + (W < Remainder ? 1 : 0);
     if (!Stealing) {
-      Dispatch(sim::WorkDescriptor{Begin, Begin + Len, Seq++, /*Home=*/W});
-      Begin += Len;
+      Dispatch(Plan.slice(Len, /*Home=*/W));
       continue;
     }
     uint32_t Subs = std::max(1u, std::min(M.config().StealSliceChunks, Len));
@@ -159,9 +160,7 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
     Region.clear();
     for (uint32_t S = 0; S != Subs; ++S) {
       uint32_t SubLen = PerSub + (S < SubRem ? 1 : 0);
-      Region.push_back(
-          sim::WorkDescriptor{Begin, Begin + SubLen, Seq++, /*Home=*/W});
-      Begin += SubLen;
+      Region.push_back(Plan.slice(SubLen, /*Home=*/W));
     }
     unsigned LiveW = Pool.findWorkerFor(W);
     if (LiveW != ResidentWorkerPool::NoWorker)

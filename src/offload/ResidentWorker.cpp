@@ -126,6 +126,7 @@ void ResidentWorkerPool::dispatch(unsigned W,
   if (!Live[W].Box->push(Desc))
     reportFatalError("resident pool: dispatching to a full mailbox");
   ++PS.DescriptorsDispatched;
+  SpawnSeq = std::max(SpawnSeq, Desc.Seq + 1);
   unparkAll();
 }
 
@@ -133,6 +134,63 @@ void ResidentWorkerPool::dispatchBulk(
     unsigned W, const std::vector<sim::WorkDescriptor> &Descs) {
   Live[W].Box->pushBulk(Descs);
   PS.DescriptorsDispatched += Descs.size();
+  for (const sim::WorkDescriptor &Desc : Descs)
+    SpawnSeq = std::max(SpawnSeq, Desc.Seq + 1);
+  unparkAll();
+}
+
+void ResidentWorkerPool::setContinuation(uint16_t Kernel, uint16_t Next) {
+  if (NextOf.size() <= Kernel)
+    NextOf.resize(static_cast<size_t>(Kernel) + 1, 0);
+  NextOf[Kernel] = Next;
+}
+
+void ResidentWorkerPool::spawnContinuation(unsigned W,
+                                           const sim::WorkDescriptor &Done) {
+  const sim::MachineConfig &Cfg = M.config();
+  Worker &Wk = Live[W];
+  unsigned Target = W;
+  switch (Done.Policy) {
+  case sim::ParcelPolicy::None:
+    return;
+  case sim::ParcelPolicy::Self:
+    break;
+  case sim::ParcelPolicy::Ring: {
+    // Next live worker in accelerator-id order, wrapping; a lone
+    // survivor rings to itself.
+    unsigned Best = NoWorker, First = 0;
+    for (unsigned V = 0; V != Live.size(); ++V) {
+      if (Live[V].AccelId < Live[First].AccelId)
+        First = V;
+      if (Live[V].AccelId > Wk.AccelId &&
+          (Best == NoWorker || Live[V].AccelId < Live[Best].AccelId))
+        Best = V;
+    }
+    Target = Best != NoWorker ? Best : First;
+    break;
+  }
+  case sim::ParcelPolicy::LeastLoaded: {
+    // Shortest backlog wins; ties go to the pool's deterministic
+    // (clock, executed, id) order.
+    unsigned Best = 0;
+    for (unsigned V = 1; V != Live.size(); ++V) {
+      unsigned BestSize = Live[Best].Box->size();
+      unsigned Size = Live[V].Box->size();
+      if (Size < BestSize || (Size == BestSize && beats(V, Best)))
+        Best = V;
+    }
+    Target = Best;
+    break;
+  }
+  }
+  sim::WorkDescriptor Child = DispatchPlan::continuation(
+      Done, continuationOf(Done.NextKernel), SpawnSeq++,
+      Live[Target].AccelId);
+  Live[Target].Box->pushParcel(Child, Wk.AccelId, Wk.BlockId);
+  ++PS.ParcelsSpawned;
+  PS.PeerDoorbellCycles +=
+      Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles;
+  ++PS.DescriptorsDispatched;
   unparkAll();
 }
 
@@ -186,7 +244,7 @@ unsigned ResidentWorkerPool::trySteal(unsigned W) {
           1, static_cast<uint64_t>(Live.size()))));
   unsigned V = pickVictim(W, Rotation);
   if (sim::DmaObserver *Obs = M.observer())
-    Obs->onMailbox({sim::MailboxEventKind::StealProbe, Wk.AccelId,
+    Obs->onDispatchEvent({sim::DispatchEventKind::StealProbe, Wk.AccelId,
                     Wk.BlockId, PS.StealsAttempted, Accel.Clock.now(),
                     V == NoWorker ? ~0ull
                                   : static_cast<uint64_t>(Live[V].AccelId)});
@@ -360,9 +418,11 @@ void ResidentWorkerPool::finishDescriptor(unsigned W,
     M.emitFault({sim::FaultKind::ChunkRequeued, Copy.AccelId, Copy.BlockId,
                  CopyStart, Desc.Begin});
     if (sim::DmaObserver *Obs = M.observer())
-      Obs->onDescriptor(Copy.AccelId, Copy.BlockId, Desc.Seq, Desc.Begin,
-                        Desc.End, CopyStart + Cfg.MailboxDescriptorCycles,
-                        CopyFinish);
+      Obs->onDispatchEvent({sim::DispatchEventKind::DescriptorRun,
+                            Copy.AccelId, Copy.BlockId, Desc.Seq,
+                            CopyStart + Cfg.MailboxDescriptorCycles,
+                            /*Detail=*/0, Desc.Begin, Desc.End,
+                            CopyFinish});
     return CopyFinish;
   };
 

@@ -38,6 +38,7 @@
 #include "support/Random.h"
 
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace omm::offload {
@@ -90,6 +91,11 @@ struct ResidentPoolStats {
   uint64_t DescriptorsStolen = 0;
   /// Accelerator cycles spent probing and transferring steals.
   uint64_t StealCycles = 0;
+  /// Continuation parcels spawned worker-to-worker (never through the
+  /// host).
+  uint64_t ParcelsSpawned = 0;
+  /// Spawner cycles paid in peer doorbells + peer descriptor copies.
+  uint64_t PeerDoorbellCycles = 0;
 
   /// Descriptors minus launches: how many per-chunk launches the
   /// resident runtime amortized away (0 when nothing was dispatched,
@@ -154,6 +160,18 @@ public:
   unsigned accelId(unsigned W) const { return Live[W].AccelId; }
   sim::Mailbox &mailbox(unsigned W) { return *Live[W].Box; }
 
+  /// Registers the stage chain for continuation parcels: a spawned
+  /// child running kernel \p Kernel will itself continue on to
+  /// \p Next (0 ends the chain there). Unregistered kernels end their
+  /// chain. The table only shapes descriptors this pool spawns; it
+  /// never affects host-seeded descriptors.
+  void setContinuation(uint16_t Kernel, uint16_t Next);
+
+  /// The registered continuation of \p Kernel, or 0 for none.
+  uint16_t continuationOf(uint16_t Kernel) const {
+    return Kernel < NextOf.size() ? NextOf[Kernel] : 0;
+  }
+
   /// Host side: publishes \p Desc to worker \p W's mailbox (doorbell
   /// cost, dispatch counters). The caller must leave room (dispatching
   /// to a full mailbox is fatal; see executeNext to make room).
@@ -186,6 +204,15 @@ public:
   /// and the mailbox backlog are appended to \p Orphans (boundaries
   /// intact, oldest first), the worker is buried and the pool shrinks —
   /// the caller re-dispatches the orphans; false is returned.
+  ///
+  /// \p Body is invoked either as Body(Ctx, Begin, End) (the classic
+  /// range form) or, when it accepts one, as Body(Ctx, Desc) so staged
+  /// dataflow bodies can dispatch on Desc.Kernel. A completed
+  /// descriptor with a continuation (WorkDescriptor::hasContinuation)
+  /// spawns its child parcel into a peer mailbox afterwards, charged
+  /// to this worker's clock — death happens at the pop boundary,
+  /// *before* the body, so a killed worker never spawned: re-running
+  /// the parent re-spawns exactly once.
   template <typename BodyFn>
   bool executeNext(unsigned W, BodyFn &Body,
                    std::vector<sim::WorkDescriptor> &Orphans) {
@@ -216,7 +243,11 @@ public:
       // Per-descriptor allocations (staging buffers, caches the body
       // constructs) must not accumulate across the worker's life.
       OffloadContext::LocalScope Scope(*Wk.Ctx);
-      Body(*Wk.Ctx, Desc.Begin, Desc.End);
+      if constexpr (std::is_invocable_v<BodyFn &, OffloadContext &,
+                                        const sim::WorkDescriptor &>)
+        Body(*Wk.Ctx, Desc);
+      else
+        Body(*Wk.Ctx, Desc.Begin, Desc.End);
     }
     uint64_t End = Accel.Clock.now();
     PS.BusyCycles[Wk.StatIndex] += End - Start;
@@ -225,10 +256,13 @@ public:
     Wk.LastBegin = Desc.Begin;
     Wk.LastEnd = Desc.End;
     if (sim::DmaObserver *Obs = M.observer())
-      Obs->onDescriptor(Wk.AccelId, Wk.BlockId, Desc.Seq, Desc.Begin,
-                        Desc.End, Start, End);
+      Obs->onDispatchEvent({sim::DispatchEventKind::DescriptorRun,
+                            Wk.AccelId, Wk.BlockId, Desc.Seq, Start,
+                            /*Detail=*/0, Desc.Begin, Desc.End, End});
     if (Timing.Slowdown > 1.0f || DeadlinesArmed)
       finishDescriptor(W, Desc, Start, End, Timing.Slowdown);
+    if (Desc.hasContinuation())
+      spawnContinuation(W, Desc);
     return true;
   }
 
@@ -291,6 +325,13 @@ private:
   /// \p Excluding; NoWorker when no other worker is alive.
   unsigned pickCopyWorker(unsigned Excluding) const;
 
+  /// Worker \p W completed \p Done, which carries a continuation:
+  /// builds the child through DispatchPlan::continuation, picks the
+  /// recipient under Done.Policy and pushes the parcel into its
+  /// mailbox, all charged to \p W's accelerator clock
+  /// (Mailbox::pushParcel). The host is not involved.
+  void spawnContinuation(unsigned W, const sim::WorkDescriptor &Done);
+
   /// True when worker \p A beats worker \p B on the deterministic
   /// (clock, executed, accelerator id) dispatch order.
   bool beats(unsigned A, unsigned B) const;
@@ -307,6 +348,13 @@ private:
   /// The rotation stream behind pickVictim's tie-break; seeded from
   /// MachineConfig::StealSeed so victim choice replays deterministically.
   SplitMix64 StealRng;
+  /// Continuation table for spawned parcels, indexed by kernel id
+  /// (setContinuation).
+  std::vector<uint16_t> NextOf;
+  /// Sequence number for the next spawned parcel: kept past every
+  /// host-dispatched Seq (dispatch/dispatchBulk fold theirs in), so a
+  /// spawned child never collides with a seeded descriptor.
+  uint64_t SpawnSeq = 0;
   uint64_t FrameStart = 0;
   uint64_t FrameEnd = 0;
   bool Closed = false;

@@ -48,24 +48,30 @@ const char *sim::faultKindName(FaultKind Kind) {
   return "unknown_fault";
 }
 
-const char *sim::mailboxEventKindName(MailboxEventKind Kind) {
+const char *sim::dispatchEventKindName(DispatchEventKind Kind) {
   switch (Kind) {
-  case MailboxEventKind::DoorbellWrite:
+  case DispatchEventKind::DoorbellWrite:
     return "doorbell_write";
-  case MailboxEventKind::IdlePoll:
+  case DispatchEventKind::IdlePoll:
     return "idle_poll";
-  case MailboxEventKind::DescriptorFetch:
+  case DispatchEventKind::DescriptorFetch:
     return "descriptor_fetch";
-  case MailboxEventKind::MailboxDrained:
+  case DispatchEventKind::MailboxDrained:
     return "mailbox_drained";
-  case MailboxEventKind::BulkDoorbell:
+  case DispatchEventKind::BulkDoorbell:
     return "bulk_doorbell";
-  case MailboxEventKind::StealProbe:
+  case DispatchEventKind::StealProbe:
     return "steal_probe";
-  case MailboxEventKind::StealTransfer:
+  case DispatchEventKind::StealTransfer:
     return "steal_transfer";
+  case DispatchEventKind::DescriptorRun:
+    return "descriptor_run";
+  case DispatchEventKind::ParcelSpawn:
+    return "parcel_spawn";
+  case DispatchEventKind::ParcelDeliver:
+    return "parcel_deliver";
   }
-  return "unknown_mailbox_event";
+  return "unknown_dispatch_event";
 }
 
 void ObserverMux::add(DmaObserver *Obs) {
@@ -121,15 +127,7 @@ void ObserverMux::onFault(const FaultEvent &Event) {
     Obs->onFault(Event);
 }
 
-void ObserverMux::onMailbox(const MailboxEvent &Event) {
+void ObserverMux::onDispatchEvent(const DispatchEvent &Event) {
   for (DmaObserver *Obs : Observers)
-    Obs->onMailbox(Event);
-}
-
-void ObserverMux::onDescriptor(unsigned AccelId, uint64_t BlockId,
-                               uint64_t Seq, uint32_t Begin, uint32_t End,
-                               uint64_t StartCycle, uint64_t EndCycle) {
-  for (DmaObserver *Obs : Observers)
-    Obs->onDescriptor(AccelId, BlockId, Seq, Begin, End, StartCycle,
-                      EndCycle);
+    Obs->onDispatchEvent(Event);
 }

@@ -80,11 +80,12 @@ enum class FaultKind : uint8_t {
 /// \returns a stable lower-case name for \p Kind (trace/report output).
 const char *faultKindName(FaultKind Kind);
 
-/// Kinds of mailbox transactions of the persistent-worker runtime
-/// (Mailbox.h), as reported to observers. The trace layer renders the
-/// host-side kinds as instants so descriptor dispatch is visible
-/// between the launch spans it replaces.
-enum class MailboxEventKind : uint8_t {
+/// Kinds of dispatch transactions of the persistent-worker runtime
+/// (Mailbox.h / ResidentWorker.h), as reported to observers. The trace
+/// layer renders the host-side kinds as instants so descriptor dispatch
+/// is visible between the launch spans it replaces, and DescriptorRun as
+/// a span on the worker's track.
+enum class DispatchEventKind : uint8_t {
   DoorbellWrite,   ///< Host published a descriptor and rang the bell.
   IdlePoll,        ///< A worker spun on an empty mailbox (Detail = cycles).
   DescriptorFetch, ///< A worker DMA-fetched a descriptor.
@@ -97,14 +98,26 @@ enum class MailboxEventKind : uint8_t {
   StealTransfer,   ///< A thief gathered a victim's backlog tail with one
                    ///< list-form DMA (Seq = descriptors stolen, Detail =
                    ///< victim accel id).
+  DescriptorRun,   ///< A worker ran one descriptor body: [Begin, End)
+                   ///< from Cycle to EndCycle in worker time.
+  ParcelSpawn,     ///< A worker published a continuation descriptor into
+                   ///< a peer's mailbox (Detail = recipient accel id;
+                   ///< Cycle is the *spawner's* clock after paying the
+                   ///< peer doorbell + descriptor DMA).
+  ParcelDeliver,   ///< The recipient side of a ParcelSpawn: the parcel
+                   ///< landed in AccelId's mailbox (Detail = spawner
+                   ///< accel id, Begin the parcel's begin index).
 };
 
 /// \returns a stable lower-case name for \p Kind (trace/report output).
-const char *mailboxEventKindName(MailboxEventKind Kind);
+const char *dispatchEventKindName(DispatchEventKind Kind);
 
-/// One mailbox transaction as reported to observers.
-struct MailboxEvent {
-  MailboxEventKind Kind = MailboxEventKind::DoorbellWrite;
+/// One dispatch transaction as reported to observers. The leading six
+/// fields are the historical MailboxEvent layout; DescriptorRun and the
+/// parcel kinds use the trailing span fields, which default to zero so
+/// mailbox-style brace-inits stay valid.
+struct DispatchEvent {
+  DispatchEventKind Kind = DispatchEventKind::DoorbellWrite;
   unsigned AccelId = 0;
   /// The resident worker's offload block.
   uint64_t BlockId = 0;
@@ -112,12 +125,28 @@ struct MailboxEvent {
   /// MailboxDrained.
   uint64_t Seq = 0;
   /// Simulated cycle (host clock for DoorbellWrite/MailboxDrained,
-  /// worker clock for IdlePoll/DescriptorFetch).
+  /// worker clock for IdlePoll/DescriptorFetch/DescriptorRun and the
+  /// parcel kinds; DescriptorRun's Cycle is the body's start).
   uint64_t Cycle = 0;
-  /// Kind-specific payload: the descriptor's begin index, or the spin
-  /// cycles for IdlePoll.
+  /// Kind-specific payload: the descriptor's begin index, the spin
+  /// cycles for IdlePoll, or the peer accel id for the parcel kinds.
   uint64_t Detail = 0;
+  /// DescriptorRun / parcel kinds only: the descriptor's index range.
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  /// DescriptorRun only: worker cycle at which the body finished.
+  uint64_t EndCycle = 0;
 };
+
+/// Deprecated aliases for the pre-merge observer API; new code should
+/// name DispatchEvent / DispatchEventKind directly.
+using MailboxEventKind = DispatchEventKind;
+using MailboxEvent = DispatchEvent;
+
+/// Deprecated alias for dispatchEventKindName.
+inline const char *mailboxEventKindName(DispatchEventKind Kind) {
+  return dispatchEventKindName(Kind);
+}
 
 /// One fault as reported to observers.
 struct FaultEvent {
@@ -201,28 +230,16 @@ public:
   /// already been charged by the machine or the offload runtime.
   virtual void onFault(const FaultEvent &Event) { (void)Event; }
 
-  /// A mailbox transaction of the persistent-worker runtime happened
-  /// (doorbell write, descriptor fetch, idle poll, death drain). The
-  /// costs are already charged; this only reports them.
-  virtual void onMailbox(const MailboxEvent &Event) { (void)Event; }
-
-  /// A resident worker finished executing one work descriptor: block
-  /// \p BlockId on \p AccelId ran [Begin, End) from \p StartCycle to
-  /// \p EndCycle (body time only; the descriptor fetch was reported
-  /// through onMailbox). Sequence numbers are monotonic per parallel
-  /// region, so tools can spot re-queued descriptors executing out of
-  /// order after a worker death.
-  virtual void onDescriptor(unsigned AccelId, uint64_t BlockId,
-                            uint64_t Seq, uint32_t Begin, uint32_t End,
-                            uint64_t StartCycle, uint64_t EndCycle) {
-    (void)AccelId;
-    (void)BlockId;
-    (void)Seq;
-    (void)Begin;
-    (void)End;
-    (void)StartCycle;
-    (void)EndCycle;
-  }
+  /// A dispatch transaction of the persistent-worker runtime happened:
+  /// a mailbox event (doorbell write, descriptor fetch, idle poll,
+  /// death drain, steal), a descriptor body run (Kind ==
+  /// DescriptorRun, spanning [Cycle, EndCycle) in worker time over
+  /// [Begin, End)), or a worker-to-worker parcel (ParcelSpawn /
+  /// ParcelDeliver). The costs are already charged; this only reports
+  /// them. This callback subsumes the pre-merge onMailbox /
+  /// onDescriptor pair: new transaction kinds add an enum case, not a
+  /// virtual.
+  virtual void onDispatchEvent(const DispatchEvent &Event) { (void)Event; }
 };
 
 /// Fans every callback out to a list of observers, in registration
@@ -255,10 +272,7 @@ public:
                     uint64_t LaunchCycle) override;
   void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
   void onFault(const FaultEvent &Event) override;
-  void onMailbox(const MailboxEvent &Event) override;
-  void onDescriptor(unsigned AccelId, uint64_t BlockId, uint64_t Seq,
-                    uint32_t Begin, uint32_t End, uint64_t StartCycle,
-                    uint64_t EndCycle) override;
+  void onDispatchEvent(const DispatchEvent &Event) override;
 
 private:
   std::vector<DmaObserver *> Observers;

@@ -54,6 +54,8 @@ void PerfCounters::print(OStream &OS) const {
   Row("steals succeeded", StealsSucceeded);
   Row("descriptors stolen", DescriptorsStolen);
   Row("steal cycles", StealCycles);
+  Row("parcels spawned", ParcelsSpawned);
+  Row("peer doorbell cycles", PeerDoorbellCycles);
 }
 
 Machine::Machine(const MachineConfig &Config)

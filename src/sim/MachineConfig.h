@@ -250,6 +250,20 @@ struct MachineConfig {
   /// WorkStealing is None.
   unsigned StealSliceChunks = 4;
 
+  /// Spawner-side cycles to ring a *peer* worker's doorbell when
+  /// spawning a continuation parcel (the uncached store into the peer's
+  /// doorbell line plus the visibility barrier). Cheaper than a steal
+  /// probe+grant — the spawner already owns the work, so there is no
+  /// claim handshake — but dearer than the host's MailboxDoorbellCycles
+  /// because the store crosses the accelerator interconnect.
+  uint64_t PeerDoorbellCycles = 60;
+
+  /// Spawner-side cycles to copy one continuation descriptor from the
+  /// spawner's local store into the recipient's (a small
+  /// store-to-store DMA; same order as MailboxDescriptorCycles, which
+  /// is the equivalent main-memory round trip).
+  uint64_t PeerDescriptorDmaCycles = 200;
+
   /// When true the machine behaves as a traditional single-space SMP:
   /// accelerators address main memory directly at HostAccessCycles and
   /// DMA degenerates to a cheap copy. Used as the paper's "traditional

@@ -33,7 +33,7 @@ bool Mailbox::push(const WorkDescriptor &Desc) {
   S.ReadyAt = M.hostClock().now();
   Slots.push_back(S);
   if (DmaObserver *Obs = M.observer())
-    Obs->onMailbox({MailboxEventKind::DoorbellWrite, AccelId, BlockId,
+    Obs->onDispatchEvent({DispatchEventKind::DoorbellWrite, AccelId, BlockId,
                     Desc.Seq, S.ReadyAt, Desc.Begin});
   return true;
 }
@@ -53,8 +53,36 @@ void Mailbox::pushBulk(const std::vector<WorkDescriptor> &Descs) {
     Slots.push_back(Slot{Desc, ReadyAt, false});
   }
   if (DmaObserver *Obs = M.observer())
-    Obs->onMailbox({MailboxEventKind::BulkDoorbell, AccelId, BlockId,
+    Obs->onDispatchEvent({DispatchEventKind::BulkDoorbell, AccelId, BlockId,
                     Descs.front().Seq, ReadyAt, Descs.size()});
+}
+
+void Mailbox::pushParcel(const WorkDescriptor &Desc, unsigned SpawnerAccelId,
+                         uint64_t SpawnerBlockId) {
+  const MachineConfig &Cfg = M.config();
+  Accelerator &Spawner = M.accel(SpawnerAccelId);
+  // Both halves of the transaction are spawner-side: the doorbell store
+  // into the peer's line and the descriptor's store-to-store copy. The
+  // recipient pays nothing until its own pop.
+  uint64_t Cost = Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles;
+  Spawner.Clock.advance(Cost);
+  Spawner.Counters.PeerDoorbellCycles += Cost;
+  ++Spawner.Counters.ParcelsSpawned;
+  ++M.accel(AccelId).Counters.DescriptorsDispatched;
+  uint64_t LandedAt = Spawner.Clock.now();
+  // The parcel is already in the recipient's local store (the spawner's
+  // DMA put it there), so the backlog leaves the bounded-FIFO regime
+  // exactly like a bulk or stolen placement.
+  LocalBacklog = true;
+  Slots.push_back(Slot{Desc, LandedAt, true});
+  if (DmaObserver *Obs = M.observer()) {
+    Obs->onDispatchEvent({DispatchEventKind::ParcelSpawn, SpawnerAccelId,
+                          SpawnerBlockId, Desc.Seq, LandedAt, AccelId,
+                          Desc.Begin, Desc.End, 0});
+    Obs->onDispatchEvent({DispatchEventKind::ParcelDeliver, AccelId, BlockId,
+                          Desc.Seq, LandedAt, SpawnerAccelId, Desc.Begin,
+                          Desc.End, 0});
+  }
 }
 
 unsigned Mailbox::stealTailInto(Mailbox &Thief, unsigned MinBacklog) {
@@ -82,7 +110,7 @@ unsigned Mailbox::stealTailInto(Mailbox &Thief, unsigned MinBacklog) {
     Thief.Slots.push_back(Slot{Slots[I].Desc, LandedAt, true});
   Slots.erase(Slots.begin() + static_cast<ptrdiff_t>(First), Slots.end());
   if (DmaObserver *Obs = M.observer())
-    Obs->onMailbox({MailboxEventKind::StealTransfer, Thief.AccelId,
+    Obs->onDispatchEvent({DispatchEventKind::StealTransfer, Thief.AccelId,
                     Thief.BlockId, Take, LandedAt, AccelId});
   return Take;
 }
@@ -111,7 +139,7 @@ WorkDescriptor Mailbox::pop() {
     Accel.Clock.advance(Spin);
     Accel.Counters.IdlePollCycles += Spin;
     if (DmaObserver *Obs = M.observer())
-      Obs->onMailbox({MailboxEventKind::IdlePoll, AccelId, BlockId,
+      Obs->onDispatchEvent({DispatchEventKind::IdlePoll, AccelId, BlockId,
                       S.Desc.Seq, Accel.Clock.now(), Spin});
   }
 
@@ -120,7 +148,7 @@ WorkDescriptor Mailbox::pop() {
   if (!S.InLocalStore)
     Accel.Clock.advance(Cfg.MailboxDescriptorCycles);
   if (DmaObserver *Obs = M.observer())
-    Obs->onMailbox({MailboxEventKind::DescriptorFetch, AccelId, BlockId,
+    Obs->onDispatchEvent({DispatchEventKind::DescriptorFetch, AccelId, BlockId,
                     S.Desc.Seq, Accel.Clock.now(), S.Desc.Begin});
   return S.Desc;
 }
@@ -133,7 +161,7 @@ std::vector<WorkDescriptor> Mailbox::drain() {
   Slots.clear();
   if (!Pending.empty())
     if (DmaObserver *Obs = M.observer())
-      Obs->onMailbox({MailboxEventKind::MailboxDrained, AccelId, BlockId,
+      Obs->onDispatchEvent({DispatchEventKind::MailboxDrained, AccelId, BlockId,
                       Pending.size(), M.hostClock().now(),
                       Pending.front().Begin});
   return Pending;

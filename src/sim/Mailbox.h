@@ -46,10 +46,31 @@ namespace omm::sim {
 
 class Machine;
 
+/// How a resident worker picks the recipient of a continuation parcel
+/// it spawns (WorkDescriptor::Policy). None disables spawning entirely
+/// and is the default, so plain host-seeded descriptors never grow
+/// continuations.
+enum class ParcelPolicy : uint8_t {
+  None,        ///< No continuation; the descriptor ends its chain.
+  Self,        ///< Spawn into the spawner's own mailbox.
+  Ring,        ///< Spawn to the next live worker in accelerator-id
+               ///< order, wrapping (a static all-to-all ring).
+  LeastLoaded, ///< Spawn to the live worker with the shortest backlog,
+               ///< ties broken by the pool's deterministic
+               ///< (clock, executed, id) order.
+};
+
 /// One chunk of work as it travels through a mailbox: a [Begin, End)
 /// index range, a per-region monotonic sequence number, and — for
 /// statically split ranges — the accelerator the split intended it for
 /// (so the runtime can tell a failover execution from a planned one).
+///
+/// The trailing continuation fields are the parcel extension: Kernel
+/// names which stage body to run (0 = the region's only body), and a
+/// descriptor with NextKernel != 0 spawns a same-range continuation
+/// parcel under Policy when its body completes. All three default to
+/// the no-continuation state, so four-field brace-inits (and the whole
+/// pre-parcel runtime) behave exactly as before.
 struct WorkDescriptor {
   uint32_t Begin = 0;
   uint32_t End = 0;
@@ -57,8 +78,19 @@ struct WorkDescriptor {
   /// Accelerator the static split assigned this range to, or NoHome for
   /// dynamically scheduled work (which has no preferred core).
   unsigned Home = ~0u;
+  /// Stage kernel id this descriptor runs (0 = the region's only body).
+  uint16_t Kernel = 0;
+  /// Stage kernel the continuation parcel will run, or 0 for none.
+  uint16_t NextKernel = 0;
+  /// Recipient-selection policy for the continuation parcel.
+  ParcelPolicy Policy = ParcelPolicy::None;
 
   static constexpr unsigned NoHome = ~0u;
+
+  /// True when completing this descriptor spawns a continuation.
+  bool hasContinuation() const {
+    return NextKernel != 0 && Policy != ParcelPolicy::None;
+  }
 };
 
 /// Bounded SPSC work-descriptor mailbox between the host and one
@@ -85,6 +117,18 @@ public:
   /// the backlog may exceed MailboxDepth from here on (full() stays
   /// false) and is bounded by the region size instead.
   void pushBulk(const std::vector<WorkDescriptor> &Descs);
+
+  /// Worker side, worker-to-worker parcel delivery: accelerator
+  /// \p SpawnerAccelId publishes \p Desc straight into this mailbox,
+  /// paying PeerDoorbellCycles (the uncached store + barrier into the
+  /// peer's doorbell line) plus PeerDescriptorDmaCycles (the
+  /// local-store-to-local-store descriptor copy) on its *own* clock —
+  /// the host is never involved. The parcel lands in the recipient's
+  /// local-store deque (like a stolen descriptor), so its later pop
+  /// skips the fetch DMA and the bounded-FIFO depth does not apply:
+  /// spawning can never hit the fatal-full host path.
+  void pushParcel(const WorkDescriptor &Desc, unsigned SpawnerAccelId,
+                  uint64_t SpawnerBlockId);
 
   /// Worker side, the steal handshake: \p Thief's accelerator claims
   /// the newest floor(size/2) descriptors of this backlog (order

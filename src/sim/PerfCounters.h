@@ -60,6 +60,10 @@ struct PerfCounters {
   uint64_t DescriptorsStolen = 0; ///< Descriptors gathered by steals.
   uint64_t StealCycles = 0; ///< Thief cycles in probes + handshakes +
                             ///< list-form descriptor gathers.
+  uint64_t ParcelsSpawned = 0; ///< Continuation parcels this core's
+                               ///< worker pushed to peers.
+  uint64_t PeerDoorbellCycles = 0; ///< Spawner cycles in peer doorbells
+                                   ///< + descriptor copies.
 
   /// \returns total DMA transfers issued.
   uint64_t dmaTransfers() const { return DmaGetsIssued + DmaPutsIssued; }
@@ -101,6 +105,8 @@ struct PerfCounters {
     StealsSucceeded += Other.StealsSucceeded;
     DescriptorsStolen += Other.DescriptorsStolen;
     StealCycles += Other.StealCycles;
+    ParcelsSpawned += Other.ParcelsSpawned;
+    PeerDoorbellCycles += Other.PeerDoorbellCycles;
   }
 
   /// Prints the counters as a small table.

@@ -170,15 +170,18 @@ void emitDescriptors(EventSink &Sink, const TraceRecorder &Rec) {
 }
 
 void emitMailbox(EventSink &Sink, const TraceRecorder &Rec) {
-  for (const MailboxEvent &E : Rec.mailboxEvents()) {
+  for (const DispatchEvent &E : Rec.mailboxEvents()) {
     // Host-side transactions (doorbell, bulk doorbell, drain) land on
     // the host track; worker-side ones (fetch, idle poll, steal probe
-    // and transfer) on the core's track.
-    bool HostSide = E.Kind == MailboxEventKind::DoorbellWrite ||
-                    E.Kind == MailboxEventKind::BulkDoorbell ||
-                    E.Kind == MailboxEventKind::MailboxDrained;
+    // and transfer, parcel spawn and delivery) on the core's track —
+    // the parcel kinds carry the acting worker in AccelId, so a spawn
+    // appears on the spawner's track and the delivery on the
+    // recipient's.
+    bool HostSide = E.Kind == DispatchEventKind::DoorbellWrite ||
+                    E.Kind == DispatchEventKind::BulkDoorbell ||
+                    E.Kind == DispatchEventKind::MailboxDrained;
     int Tid = HostSide ? HostTid : accelTid(E.AccelId);
-    std::string S = commonFields(mailboxEventKindName(E.Kind), "mailbox",
+    std::string S = commonFields(dispatchEventKindName(E.Kind), "mailbox",
                                  'i', Tid, E.Cycle);
     S += ",\"s\":\"t\",\"args\":{\"accel\":" + std::to_string(E.AccelId);
     S += ",\"block\":" + std::to_string(E.BlockId);

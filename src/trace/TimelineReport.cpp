@@ -122,32 +122,37 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
     // The persistent-worker runtime was active: summarise mailbox
     // dispatch so amortization is visible next to the block counts.
     uint64_t Doorbells = 0, IdlePolls = 0, Drained = 0;
-    uint64_t Steals = 0, Stolen = 0;
-    for (const MailboxEvent &E : Rec.mailboxEvents()) {
+    uint64_t Steals = 0, Stolen = 0, Parcels = 0;
+    for (const DispatchEvent &E : Rec.mailboxEvents()) {
       switch (E.Kind) {
-      case MailboxEventKind::DoorbellWrite:
-      case MailboxEventKind::BulkDoorbell:
+      case DispatchEventKind::DoorbellWrite:
+      case DispatchEventKind::BulkDoorbell:
         ++Doorbells;
         break;
-      case MailboxEventKind::IdlePoll:
+      case DispatchEventKind::IdlePoll:
         ++IdlePolls;
         break;
-      case MailboxEventKind::MailboxDrained:
+      case DispatchEventKind::MailboxDrained:
         Drained += E.Seq;
         break;
-      case MailboxEventKind::StealTransfer:
+      case DispatchEventKind::StealTransfer:
         ++Steals;
         Stolen += E.Seq;
         break;
-      case MailboxEventKind::DescriptorFetch:
-      case MailboxEventKind::StealProbe:
+      case DispatchEventKind::ParcelSpawn:
+        ++Parcels;
+        break;
+      case DispatchEventKind::DescriptorFetch:
+      case DispatchEventKind::StealProbe:
+      case DispatchEventKind::ParcelDeliver:
+      case DispatchEventKind::DescriptorRun:
         break;
       }
     }
     OS << "descriptors executed: " << Rec.descriptors().size()
        << " (doorbells " << Doorbells << ", idle polls " << IdlePolls
        << ", drained on death " << Drained << ", steals " << Steals
-       << " moving " << Stolen << ")\n";
+       << " moving " << Stolen << ", parcels " << Parcels << ")\n";
   }
 
   if (!Rec.faults().empty()) {

@@ -146,24 +146,25 @@ void TraceRecorder::onFault(const FaultEvent &Event) {
   FaultEvents.push_back(Event);
 }
 
-void TraceRecorder::onMailbox(const MailboxEvent &Event) {
+void TraceRecorder::onDispatchEvent(const DispatchEvent &Event) {
+  // Descriptor body runs become spans on the worker's timeline; every
+  // other dispatch kind (mailbox traffic, steals, parcels) stays an
+  // instant in emission order.
+  if (Event.Kind == DispatchEventKind::DescriptorRun) {
+    note(Event.EndCycle);
+    DescriptorSpan Span;
+    Span.BlockId = Event.BlockId;
+    Span.AccelId = Event.AccelId;
+    Span.Seq = Event.Seq;
+    Span.Begin = Event.Begin;
+    Span.End = Event.End;
+    Span.BeginCycle = Event.Cycle;
+    Span.EndCycle = Event.EndCycle;
+    Descriptors.push_back(Span);
+    return;
+  }
   note(Event.Cycle);
   MailboxEvents.push_back(Event);
-}
-
-void TraceRecorder::onDescriptor(unsigned AccelId, uint64_t BlockId,
-                                 uint64_t Seq, uint32_t Begin, uint32_t End,
-                                 uint64_t StartCycle, uint64_t EndCycle) {
-  note(EndCycle);
-  DescriptorSpan Span;
-  Span.BlockId = BlockId;
-  Span.AccelId = AccelId;
-  Span.Seq = Seq;
-  Span.Begin = Begin;
-  Span.End = End;
-  Span.BeginCycle = StartCycle;
-  Span.EndCycle = EndCycle;
-  Descriptors.push_back(Span);
 }
 
 void TraceRecorder::onBlockEnd(unsigned AccelId, uint64_t BlockId,

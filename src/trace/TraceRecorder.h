@@ -106,9 +106,11 @@ public:
     return Descriptors;
   }
 
-  /// Mailbox transactions (doorbell writes, idle polls, descriptor
-  /// fetches, death drains) seen while recording, in emission order.
-  const std::vector<sim::MailboxEvent> &mailboxEvents() const {
+  /// Dispatch transactions other than DescriptorRun (doorbell writes,
+  /// idle polls, descriptor fetches, death drains, steals, parcel
+  /// spawns/deliveries) seen while recording, in emission order.
+  /// DescriptorRun events are demuxed into descriptors() instead.
+  const std::vector<sim::DispatchEvent> &mailboxEvents() const {
     return MailboxEvents;
   }
 
@@ -145,10 +147,7 @@ public:
                     uint64_t LaunchCycle) override;
   void onBlockEnd(unsigned AccelId, uint64_t BlockId, uint64_t Cycle) override;
   void onFault(const sim::FaultEvent &Event) override;
-  void onMailbox(const sim::MailboxEvent &Event) override;
-  void onDescriptor(unsigned AccelId, uint64_t BlockId, uint64_t Seq,
-                    uint32_t Begin, uint32_t End, uint64_t StartCycle,
-                    uint64_t EndCycle) override;
+  void onDispatchEvent(const sim::DispatchEvent &Event) override;
 
 private:
   /// Per-accelerator attribution state.
@@ -168,7 +167,7 @@ private:
   std::vector<sim::DmaTransfer> Transfers;
   std::vector<sim::FaultEvent> FaultEvents;
   std::vector<DescriptorSpan> Descriptors;
-  std::vector<sim::MailboxEvent> MailboxEvents;
+  std::vector<sim::DispatchEvent> MailboxEvents;
   std::vector<AccelState> Accels;
   uint64_t HostAccesses = 0;
   uint64_t LastCycle = 0;

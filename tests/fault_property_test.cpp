@@ -298,6 +298,73 @@ TEST_P(FaultRecoveryProperty, ZeroedStealPolicyReproducesBaselineExactly) {
 
 namespace {
 
+/// As runResidentFrames, on the parcel dataflow schedule (staged shard
+/// stages chained worker-to-worker). Its fault-free reference is the
+/// host-staged schedule — the same shards joined through the host.
+RunResult runDataflowFrames(const MachineConfig &Cfg, ParcelPolicy Policy,
+                            uint64_t KillSeed = 0) {
+  Machine M(Cfg);
+  if (KillSeed != 0 && M.faults()) {
+    SplitMix64 Rng(KillSeed);
+    M.faults()->scheduleKill(Rng.nextBelow(M.numAccelerators()),
+                             Rng.nextBelow(3));
+    M.faults()->scheduleChunkKill(Rng.nextBelow(M.numAccelerators()),
+                                  Rng.nextBelow(5));
+  }
+  GameWorld World(M, worldParams());
+  for (int F = 0; F != NumFrames; ++F)
+    World.doFrameDataflow(Policy);
+  return collectResult(M, World);
+}
+
+RunResult runStagedFrames(const MachineConfig &Cfg) {
+  Machine M(Cfg);
+  GameWorld World(M, worldParams());
+  for (int F = 0; F != NumFrames; ++F)
+    World.doFrameStaged();
+  return collectResult(M, World);
+}
+
+} // namespace
+
+TEST_P(FaultRecoveryProperty, DataflowFramesMatchStagedBitForBit) {
+  // Parcels compose with every injected fault: a dead recipient's
+  // undelivered continuations drain through the ordinary recovery path
+  // and run exactly once, so dataflow frames — faulted or not, under
+  // every recipient policy — compute the host-staged world bit for bit.
+  RunResult Reference = runStagedFrames(MachineConfig::cellLike());
+  MachineConfig Faulty = MachineConfig::cellLike();
+  Faulty.Faults = faultsFor(GetParam());
+  for (ParcelPolicy Policy : {ParcelPolicy::Self, ParcelPolicy::Ring,
+                              ParcelPolicy::LeastLoaded}) {
+    RunResult Clean =
+        runDataflowFrames(MachineConfig::cellLike(), Policy);
+    RunResult Injected = runDataflowFrames(Faulty, Policy, GetParam());
+    EXPECT_EQ(Clean.Checksum, Reference.Checksum)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+    EXPECT_EQ(Injected.Checksum, Reference.Checksum)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+    EXPECT_GE(Injected.HostCycles, Clean.HostCycles);
+  }
+}
+
+TEST_P(FaultRecoveryProperty, DataflowScheduleReplaysCycleForCycle) {
+  MachineConfig Faulty = MachineConfig::cellLike();
+  Faulty.Faults = faultsFor(GetParam());
+  RunResult First =
+      runDataflowFrames(Faulty, ParcelPolicy::Ring, GetParam());
+  RunResult Second =
+      runDataflowFrames(Faulty, ParcelPolicy::Ring, GetParam());
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
+  EXPECT_EQ(First.LaunchFaults, Second.LaunchFaults);
+  EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
+}
+
+namespace {
+
 /// 16-byte record for list-form gather/scatter (DMA-alignment sized).
 struct ListRecord {
   uint64_t A = 0;

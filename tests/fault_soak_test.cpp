@@ -23,6 +23,7 @@
 
 #include "offload/JobQueue.h"
 
+#include "offload/Parcel.h"
 #include "offload/ParallelFor.h"
 #include "offload/Ptr.h"
 #include "sim/FaultInjector.h"
@@ -146,6 +147,56 @@ void runParallelForSchedule(uint64_t Seed, SoakOutcome &Out) {
   Out.HostChunks = Stats.HostSlices;
 }
 
+/// One seeded staged-dataflow schedule: 1-4 stages chained through
+/// worker-to-worker parcels under a seed-picked policy. The stages do
+/// not commute per index, so any lost, duplicated or misordered parcel
+/// shows up as a wrong final value.
+void runDataflowSchedule(uint64_t Seed, SoakOutcome &Out) {
+  SplitMix64 Rng(Seed ^ 0x9A4CE1);
+  MachineConfig Cfg = soakConfig(Seed ^ 0x9A4CE1, /*AllowZeroAccels=*/true);
+  Machine M(Cfg);
+
+  uint32_t Count = 30 + static_cast<uint32_t>(Rng.nextBelow(120));
+  DataflowOptions Opts;
+  Opts.ChunkSize = 1 + static_cast<uint32_t>(Rng.nextBelow(12));
+  Opts.NumStages = 1 + static_cast<uint16_t>(Rng.nextBelow(4));
+  constexpr ParcelPolicy Policies[] = {
+      ParcelPolicy::Self, ParcelPolicy::Ring, ParcelPolicy::LeastLoaded};
+  Opts.Policy = Policies[Rng.nextBelow(3)];
+  OuterPtr<uint64_t> Data = allocOuterArray<uint64_t>(M, Count);
+
+  std::vector<LocalStore::Mark> Before = storeMarks(M);
+  std::vector<uint32_t> Visits(Count * Opts.NumStages, 0);
+  DataflowStats Stats = runDataflow(
+      M, Count, Opts, [&](auto &Ctx, const WorkDescriptor &Desc) {
+        Ctx.compute((Desc.End - Desc.Begin) * 48);
+        for (uint32_t I = Desc.Begin; I != Desc.End; ++I) {
+          ++Visits[(Desc.Kernel - 1) * Count + I];
+          GlobalAddr At = (Data + I).addr();
+          uint64_t V = Ctx.template outerRead<uint64_t>(At);
+          Ctx.outerWrite(At, Desc.Kernel == 1 ? uint64_t(I) * 11 + Seed
+                                              : V * 3 + Desc.Kernel);
+        }
+      });
+
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint64_t Want = uint64_t(I) * 11 + Seed;
+    for (uint16_t K = 2; K <= Opts.NumStages; ++K)
+      Want = Want * 3 + K;
+    for (uint16_t K = 0; K != Opts.NumStages; ++K)
+      ASSERT_EQ(Visits[K * Count + I], 1u)
+          << "seed " << Seed << " stage " << (K + 1) << " index " << I;
+    ASSERT_EQ(M.hostRead<uint64_t>((Data + I).addr()), Want)
+        << "seed " << Seed << " index " << I;
+  }
+  std::vector<LocalStore::Mark> After = storeMarks(M);
+  ASSERT_EQ(Before, After) << "leaked local-store marks, seed " << Seed;
+
+  Out.Makespan = Stats.MakespanCycles;
+  Out.DeadWorkers = Stats.DeadWorkers;
+  Out.HostChunks = Stats.HostChunks;
+}
+
 } // namespace
 
 TEST(FaultSoak, JobQueueSurvivesSixHundredFaultSchedules) {
@@ -176,6 +227,35 @@ TEST(FaultSoak, ParallelForSurvivesFourHundredFaultSchedules) {
     TotalHost += Out.HostChunks;
   }
   EXPECT_GT(TotalFaults + TotalHost, 0u);
+}
+
+TEST(FaultSoak, DataflowSurvivesAThousandFaultSchedules) {
+  uint64_t TotalDead = 0, TotalHost = 0;
+  for (uint64_t Seed = 1; Seed <= 1000; ++Seed) {
+    SoakOutcome Out;
+    runDataflowSchedule(Seed, Out);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    TotalDead += Out.DeadWorkers;
+    TotalHost += Out.HostChunks;
+  }
+  // The sweep must have killed workers mid-chain and re-homed chains to
+  // the host somewhere, or the parcel recovery paths went unexercised.
+  EXPECT_GT(TotalDead, 0u);
+  EXPECT_GT(TotalHost, 0u);
+}
+
+TEST(FaultSoak, ReplayedDataflowSchedulesAreCycleIdentical) {
+  for (uint64_t Seed = 3; Seed <= 400; Seed += 37) {
+    SoakOutcome A, B;
+    runDataflowSchedule(Seed, A);
+    runDataflowSchedule(Seed, B);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    EXPECT_EQ(A.Makespan, B.Makespan) << "seed " << Seed;
+    EXPECT_EQ(A.DeadWorkers, B.DeadWorkers) << "seed " << Seed;
+    EXPECT_EQ(A.HostChunks, B.HostChunks) << "seed " << Seed;
+  }
 }
 
 TEST(FaultSoak, ReplayedSchedulesAreCycleIdentical) {

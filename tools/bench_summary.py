@@ -24,6 +24,10 @@ form against the committed snapshot:
 `--require p99_cycles '<=+5%' baseline` passes when every row's
 p99_cycles is at most 5% above the baseline row's value (requires
 --baseline; a row with no baseline counterpart fails the gate).
+A gate is only as good as the rows it saw: with --require, a baseline
+row matching --filter but absent from the candidate results fails the
+gate just like a missing counter, and so does a --filter no candidate
+row matched at all (a renamed benchmark must not silently pass CI).
 Exit status: 0 clean, 1 malformed input (including a --baseline
 directory with no snapshot for the experiment, or a non-numeric
 --require VALUE), 2 a --require failed (including a counter the row
@@ -108,10 +112,12 @@ def main():
         print(f"== {experiment} ({path}) ==")
         print("  " + "  ".join(header))
 
+        matched = 0
         for bench in data["benchmarks"]:
             name = bench["name"]
             if not name_re.search(name):
                 continue
+            matched += 1
             cycles = bench["sim_cycles"]
             row = [name, f"{cycles:.0f}"]
             merged = dict(bench.get("counters", {}))
@@ -173,6 +179,23 @@ def main():
                     print(f"REQUIRE FAILED: {name}: {counter}={have} "
                           f"not {op} {value}", file=sys.stderr)
                     failures += 1
+
+        if args.require:
+            # A vacuous gate is a failed gate: rows the baseline promises
+            # (or the filter expects) must actually exist in the
+            # candidate results, or a renamed/dropped benchmark would
+            # sail through every --require unchecked.
+            have_names = {b["name"] for b in data["benchmarks"]}
+            for name in base:
+                if name_re.search(name) and name not in have_names:
+                    print(f"REQUIRE FAILED: {name}: row present in "
+                          f"baseline but missing from {path}",
+                          file=sys.stderr)
+                    failures += 1
+            if matched == 0:
+                print(f"REQUIRE FAILED: {path}: no row matched "
+                      f"--filter {args.filter!r}", file=sys.stderr)
+                failures += 1
 
     return 2 if failures else 0
 

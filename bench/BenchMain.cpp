@@ -14,7 +14,16 @@
 //     to disable) with every benchmark's simulated cycles and counters;
 //   - accepts --trace=PATH (or OMM_TRACE=PATH) and exposes the path to
 //     the benchmark bodies via omm::bench::traceOutputPath(), for
-//     benches that can dump a Chrome trace of a representative run.
+//     benches that can dump a Chrome trace of a representative run;
+//   - exits 2 when zero benchmarks ran (a vacuous --filter must not
+//     write an empty JSON that passes every downstream gate).
+//
+// tools/sweeprun shards rows of one binary across host processes and
+// reassembles the per-row JSON byte-identically, which rests on two
+// invariants of this file: rows appear in the JSON in registration
+// order (the exact order --list prints), and each row's bytes depend
+// only on that row's own deterministic run (see BenchUtil.h for the
+// row-independence contract the bench bodies uphold).
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +45,7 @@ namespace {
 std::string TracePath;
 std::string JsonPath;
 bool JsonEnabled = true;
+bool ListMode = false;
 
 /// One benchmark result captured for the JSON file.
 struct CapturedRun {
@@ -131,7 +141,14 @@ void parseOwnFlags(int &Argc, char **Argv) {
     if (Arg == "--no-json") {
       JsonEnabled = false;
     } else if (Arg == "--list") {
+      ListMode = true;
       Rewrite("--benchmark_list_tests=true");
+    } else if (Arg.rfind("--benchmark_list_tests", 0) == 0) {
+      // The native spelling counts as list mode too (tools/sweeprun
+      // enumerates rows this way); "=false" is the only way to spell
+      // the flag without meaning it.
+      ListMode = Arg.find("=false") == std::string::npos;
+      Argv[Out++] = Argv[I];
     } else if (const char *V = Value("--filter")) {
       // Substring match, not regex: escape the metacharacters.
       Rewrite("--benchmark_filter=" + regexEscape(V));
@@ -209,14 +226,33 @@ int main(int Argc, char **Argv) {
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
 
+  // Listing rows is not a measurement: write no JSON (an empty file
+  // would clobber a real BENCH_*.json in the working directory).
+  if (ListMode)
+    return 0;
+
+  // A run that measured nothing must not look like a clean sweep: a
+  // typo'd --filter would otherwise write an empty JSON and exit 0,
+  // sailing through every downstream gate (the same vacuous-pass bug
+  // bench_summary.py --require fixed for zero-match filters). Exit 2
+  // to mirror that gate's failure status.
+  if (Captured.empty()) {
+    std::fprintf(stderr,
+                 "error: no benchmarks ran (a --filter that matches "
+                 "zero rows is an error; --list prints valid names)\n");
+    return 2;
+  }
+
   if (JsonEnabled) {
     std::string Path =
         JsonPath.empty() ? "BENCH_" + Experiment + ".json" : JsonPath;
-    if (writeResultsJson(Experiment, Path))
+    if (writeResultsJson(Experiment, Path)) {
       std::fprintf(stderr, "wrote %s (%zu benchmark results)\n",
                    Path.c_str(), Captured.size());
-    else
+    } else {
       std::fprintf(stderr, "error: could not write %s\n", Path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -16,6 +16,15 @@
 ///     counter.
 ///   - Workloads are seeded and deterministic; repeated runs print
 ///     identical numbers.
+///   - Every row is *independent*: a benchmark body may only read
+///     state it computes itself (per-row reference runs like E10's
+///     launch-per-chunk baseline, or process-local lazily computed
+///     references like E11's clean-run calibration are fine — they
+///     reproduce identically in any process). No row may observe
+///     whether, or in what order, other rows ran. This is the
+///     contract that lets tools/sweeprun farm rows across host
+///     processes and merge the per-row JSON byte-identically to a
+///     serial run, and it is enforced by the sweep_determinism ctest.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +76,17 @@ inline void reportCyclePercentiles(benchmark::State &State,
       static_cast<double>(cyclePercentile(Samples, 95.0));
   State.counters["p99_cycles"] =
       static_cast<double>(cyclePercentile(Samples, 99.0));
+}
+
+/// Reports a row's 64-bit world/run checksum as a `checksum` counter,
+/// folded to the 32 bits a JSON double carries exactly. The benches
+/// already abort on any internal checksum divergence; exporting the
+/// value additionally lets tools/sweeprun's determinism harness
+/// cross-check serial and sharded runs row-by-row at the semantic
+/// level, on top of the byte-level JSON comparison.
+inline void reportChecksum(benchmark::State &State, uint64_t Checksum) {
+  State.counters["checksum"] = static_cast<double>(
+      static_cast<uint32_t>(Checksum ^ (Checksum >> 32)));
 }
 
 /// Standard registration: one iteration (the simulator is

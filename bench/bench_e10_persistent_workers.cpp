@@ -191,6 +191,7 @@ void BM_LaunchPerChunk(benchmark::State &State) {
     RunOut Run = runLaunchPerChunk(Chunk);
     requireBitIdentical(Run, "launch_per_chunk", Chunk);
     reportSimCycles(State, Run.Cycles);
+    reportChecksum(State, Run.Checksum);
     State.counters["launches"] = static_cast<double>(Run.Stats.Launches);
   }
 }
@@ -203,6 +204,7 @@ void BM_PersistentWorkers(benchmark::State &State) {
     requireBitIdentical(Baseline, "launch_per_chunk", Chunk);
     requireBitIdentical(Run, "persistent", Chunk);
     reportSimCycles(State, Run.Cycles);
+    reportChecksum(State, Run.Checksum);
     reportMailboxCounters(State, Run);
     State.counters["speedup_vs_launch"] =
         static_cast<double>(Baseline.Cycles) /
@@ -217,6 +219,7 @@ void BM_AdaptiveChunking(benchmark::State &State) {
     RunOut Run = runPersistent(Floor, ~0u, /*Adaptive=*/true);
     requireBitIdentical(Run, "adaptive", Floor);
     reportSimCycles(State, Run.Cycles);
+    reportChecksum(State, Run.Checksum);
     reportMailboxCounters(State, Run);
     State.counters["speedup_vs_fixed"] =
         static_cast<double>(Fixed.Cycles) / static_cast<double>(Run.Cycles);
@@ -231,6 +234,7 @@ void BM_WorkerSweep(benchmark::State &State) {
     RunOut Run = runPersistent(Chunk, Workers);
     requireBitIdentical(Run, "workers", Workers);
     reportSimCycles(State, Run.Cycles);
+    reportChecksum(State, Run.Checksum);
     reportMailboxCounters(State, Run);
     State.counters["speedup_vs_launch"] =
         static_cast<double>(Baseline.Cycles) /
@@ -246,6 +250,7 @@ void BM_KilledWorkers(benchmark::State &State) {
     RunOut Run = runPersistent(Chunk, ~0u, false, Killed);
     requireBitIdentical(Run, "killed_workers", Killed);
     reportSimCycles(State, Run.Cycles);
+    reportChecksum(State, Run.Checksum);
     reportMailboxCounters(State, Run);
     State.counters["overhead_pct"] =
         100.0 * (static_cast<double>(Run.Cycles) /

@@ -156,6 +156,7 @@ void BM_FrameSchedule(benchmark::State &State) {
     requireBitIdentical(Run.Checksum, Staged.Checksum, "frame_schedule",
                         State.range(0));
     reportSimCycles(State, Run.TotalCycles);
+    reportChecksum(State, Run.Checksum);
     reportCyclePercentiles(State, Run.FrameCycles);
     reportParcelCounters(State, Run);
     if (Dataflow)
@@ -171,6 +172,7 @@ void BM_Policy(benchmark::State &State) {
     requireBitIdentical(Run.Checksum, Staged.Checksum, "policy",
                         State.range(0));
     reportSimCycles(State, Run.TotalCycles);
+    reportChecksum(State, Run.Checksum);
     reportCyclePercentiles(State, Run.FrameCycles);
     reportParcelCounters(State, Run);
     reportWin(State, Staged, Run);
@@ -185,6 +187,7 @@ void BM_KilledWorkers(benchmark::State &State) {
     requireBitIdentical(Run.Checksum, Staged.Checksum, "killed_workers",
                         State.range(0));
     reportSimCycles(State, Run.TotalCycles);
+    reportChecksum(State, Run.Checksum);
     reportCyclePercentiles(State, Run.FrameCycles);
     reportParcelCounters(State, Run);
     State.counters["host_fallback_chunks"] =
@@ -214,6 +217,7 @@ struct PipeRun {
   uint64_t Cycles = 0;
   uint64_t ParcelsSpawned = 0;
   uint64_t HostRoundTrips = 0;
+  uint64_t Checksum = 0;
   bool Ok = true;
 };
 
@@ -256,9 +260,11 @@ PipeRun runPipeline(bool Dataflow, uint16_t Stages) {
                      });
   }
   Run.Cycles = M.globalTime() - Begin;
-  for (uint32_t I = 0; I != PipeCount; ++I)
-    Run.Ok &= M.hostRead<uint64_t>((Data + I).addr()) ==
-              pipeExpected(Stages, I);
+  for (uint32_t I = 0; I != PipeCount; ++I) {
+    uint64_t Word = M.hostRead<uint64_t>((Data + I).addr());
+    Run.Ok &= Word == pipeExpected(Stages, I);
+    Run.Checksum = Run.Checksum * 1099511628211ull ^ Word;
+  }
   return Run;
 }
 
@@ -275,6 +281,7 @@ void BM_StageDepth(benchmark::State &State) {
       std::abort();
     }
     reportSimCycles(State, Run.Cycles);
+    reportChecksum(State, Run.Checksum);
     State.counters["parcels_spawned"] =
         static_cast<double>(Run.ParcelsSpawned);
     State.counters["host_round_trips_eliminated"] =

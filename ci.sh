@@ -6,22 +6,29 @@
 #
 # Usage: ./ci.sh [jobs]
 #
-# Four stages, all must be green:
+# Five stages, all must be green:
 #   1. build/      — the tier-1 configuration (RelWithDebInfo, asserts
 #                    on, warnings promoted to errors), everything
-#                    except the `soak` label
-#   2. bench smoke — tiny E10 + E11 + E12 + E13 runs: the benches
-#                    abort on any checksum divergence, and
-#                    bench_summary.py asserts the finest-chunk speedup
-#                    floor (E10), the p99 frame-cycle tail against the
-#                    committed baseline (E11), the work-stealing p99
-#                    win floor (E12), and the parcel-dataflow
-#                    frame-cycle win over the host-staged schedule
-#                    (E13)
+#                    except the `soak` label (includes the sweep-runner
+#                    byte-identity and bench-toolchain tests)
+#   2. bench smoke — tiny E10 + E11 + E12 + E13 runs through
+#                    tools/sweeprun (the parallel sweep runner CI and
+#                    developers share): the benches abort on any
+#                    checksum divergence, and bench_summary.py asserts
+#                    the finest-chunk speedup floor (E10), the p99
+#                    frame-cycle tail against the committed baseline
+#                    (E11), the work-stealing p99 win floor (E12), and
+#                    the parcel-dataflow frame-cycle win over the
+#                    host-staged schedule (E13); per-shard logs land
+#                    in build/bench/sweep-logs/ for failure triage
 #   3. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
-#   4. soak        — the long randomised fault-injection endurance runs,
+#   4. soak        — the long randomised fault-injection endurance runs
+#                    (including the full-grid sweep determinism soak),
 #                    under the sanitizer build where their randomly
 #                    killed workers are most likely to expose leaks
+#   5. build-tsan/ — ThreadSanitizer: the sweep runner's process/thread
+#                    fan-out (determinism test) and the fault soak,
+#                    race-checked before the threaded-machine work lands
 #
 #===----------------------------------------------------------------------===#
 
@@ -35,20 +42,28 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build -LE soak --output-on-failure -j "$JOBS"
 
-echo "=== bench smoke: persistent workers (E10) ==="
-( cd build/bench && ./bench_e10_persistent_workers \
-      --json=BENCH_e10_smoke.json \
-      --benchmark_filter='chunk_elems:1/|KilledWorkers' )
+# The smoke runs all go through tools/sweeprun: rows fan out across
+# $JOBS host processes and the merged JSON is byte-identical to a
+# serial run (the sweep_determinism ctest in stage 1 enforces that),
+# so the gates below see exactly the bytes the old serial smoke saw.
+SWEEP_LOGS=build/bench/sweep-logs
+
+echo "=== bench smoke: persistent workers (E10, via tools/sweeprun) ==="
+python3 tools/sweeprun --jobs "$JOBS" \
+    --filter 'chunk_elems:1/|KilledWorkers' \
+    --out build/bench/BENCH_e10_smoke.json --log-dir "$SWEEP_LOGS/e10" \
+    build/bench/bench_e10_persistent_workers
 python3 tools/bench_summary.py build/bench/BENCH_e10_smoke.json \
     --baseline BENCH_baseline --counters speedup_vs_launch,requeued
 python3 tools/bench_summary.py build/bench/BENCH_e10_smoke.json \
     --filter 'PersistentWorkers/chunk_elems:1/' \
     --require speedup_vs_launch '>=' 2.0
 
-echo "=== bench smoke: watchdog deadlines (E11) ==="
-( cd build/bench && ./bench_e11_deadlines \
-      --json=BENCH_e11_smoke.json \
-      --benchmark_filter='straggler_pm:50/|HungWorkers' )
+echo "=== bench smoke: watchdog deadlines (E11, via tools/sweeprun) ==="
+python3 tools/sweeprun --jobs "$JOBS" \
+    --filter 'straggler_pm:50/|HungWorkers' \
+    --out build/bench/BENCH_e11_smoke.json --log-dir "$SWEEP_LOGS/e11" \
+    build/bench/bench_e11_deadlines
 python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
     --baseline BENCH_baseline \
     --counters p99_cycles,stragglers,spec_redispatches
@@ -59,12 +74,11 @@ python3 tools/bench_summary.py build/bench/BENCH_e11_smoke.json \
     --baseline BENCH_baseline --filter 'straggler_pm:50/|HungWorkers' \
     --require p99_cycles '<=+5%' baseline
 
-echo "=== bench smoke: work stealing (E12) ==="
-# --filter is the bench harness's literal-substring spelling of
-# --benchmark_filter (bench/BenchMain.cpp).
-( cd build/bench && ./bench_e12_work_stealing \
-      --json=BENCH_e12_smoke.json \
-      --filter 'policy:2' )
+echo "=== bench smoke: work stealing (E12, via tools/sweeprun) ==="
+python3 tools/sweeprun --jobs "$JOBS" \
+    --filter 'policy:2' \
+    --out build/bench/BENCH_e12_smoke.json --log-dir "$SWEEP_LOGS/e12" \
+    build/bench/bench_e12_work_stealing
 python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
     --baseline BENCH_baseline \
     --counters p99_cycles,steals_succeeded,descriptors_stolen
@@ -75,10 +89,11 @@ python3 tools/bench_summary.py build/bench/BENCH_e12_smoke.json \
     --filter 'StragglerSteal' \
     --require p99_win_vs_none '>=' 1.3
 
-echo "=== bench smoke: parcel dataflow (E13) ==="
-( cd build/bench && ./bench_e13_parcels \
-      --json=BENCH_e13_smoke.json \
-      --filter 'FrameSchedule' )
+echo "=== bench smoke: parcel dataflow (E13, via tools/sweeprun) ==="
+python3 tools/sweeprun --jobs "$JOBS" \
+    --filter 'FrameSchedule' \
+    --out build/bench/BENCH_e13_smoke.json --log-dir "$SWEEP_LOGS/e13" \
+    build/bench/bench_e13_parcels
 python3 tools/bench_summary.py build/bench/BENCH_e13_smoke.json \
     --baseline BENCH_baseline --filter 'FrameSchedule' \
     --counters win_vs_staged,host_round_trips_eliminated
@@ -102,5 +117,15 @@ ctest --test-dir build-asan -LE soak --output-on-failure -j "$JOBS"
 
 echo "=== soak: fault-injection endurance under asan+ubsan ==="
 ctest --test-dir build-asan -L soak --output-on-failure -j "$JOBS"
+
+echo "=== tsan: sweep-runner fan-out + fault soak under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_TSAN=ON
+# Only what the two TSan tests drive: the determinism grid's bench
+# binaries, the CLI contract's binary, and the fault soak.
+cmake --build build-tsan -j "$JOBS" --target \
+    bench_e10_persistent_workers bench_e13_parcels \
+    bench_e7_word_addressing fault_soak_test
+ctest --test-dir build-tsan --output-on-failure \
+    -R '^(sweep_determinism_test|bench_cli_test|fault_soak_test)$'
 
 echo "=== all green ==="

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Golden tests for tools/bench_summary.py.
+
+Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+
+bench_summary.py is the CI gatekeeper: every BENCH_baseline regression
+gate flows through its --require logic, so its exit-status contract is
+load-bearing —
+
+    0  every gate held
+    1  malformed input (bad JSON, missing baseline snapshot,
+       non-numeric --require VALUE, unknown operator)
+    2  a gate failed (counter out of bounds, counter absent, baseline
+       row missing from the candidate, vacuous zero-match filter)
+
+Each test builds small omm-bench-v1 fixtures in a temp dir and drives
+the script exactly like ci.sh does: as a subprocess, asserting on exit
+status and the one-line diagnostics (never tracebacks).
+
+Run directly or via ctest (registered under the `unit` label):
+    python3 tests/bench_summary_test.py [BENCH_SUMMARY_PATH]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_SUMMARY = os.environ.get(
+    "OMM_BENCH_SUMMARY",
+    os.path.join(REPO_ROOT, "tools", "bench_summary.py"))
+
+
+def results_fixture(experiment, rows):
+    """An omm-bench-v1 document: rows is [(name, sim_cycles, counters)]."""
+    return {
+        "schema": "omm-bench-v1",
+        "experiment": experiment,
+        "time_unit": "simulated cycles",
+        "benchmarks": [
+            {"name": name, "iterations": 1, "sim_cycles": cycles,
+             "counters": dict(counters, sim_cycles=cycles)}
+            for name, cycles, counters in rows
+        ],
+    }
+
+
+class BenchSummaryTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="bench-summary-test-")
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, relpath, document):
+        path = os.path.join(self.tmp.name, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(document, str):
+                f.write(document)
+            else:
+                json.dump(document, f)
+        return path
+
+    def run_summary(self, *argv):
+        proc = subprocess.run(
+            [sys.executable, BENCH_SUMMARY, *argv],
+            capture_output=True, text=True)
+        self.assertNotIn("Traceback", proc.stderr,
+                         f"bench_summary must fail with one-line "
+                         f"messages, got:\n{proc.stderr}")
+        return proc
+
+    def candidate(self, speedup=2.5):
+        return self.write("BENCH_e99_demo.json", results_fixture(
+            "e99_demo",
+            [("BM_Demo/chunk:1/manual_time", 1000,
+              {"speedup": speedup, "p99_cycles": 1000}),
+             ("BM_Demo/chunk:2/manual_time", 800,
+              {"speedup": speedup, "p99_cycles": 800})]))
+
+    # ---- plain summary and diff output ---------------------------------
+
+    def test_summary_prints_every_row(self):
+        proc = self.run_summary(self.candidate(), "--counters", "speedup")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("== e99_demo", proc.stdout)
+        self.assertIn("BM_Demo/chunk:1/manual_time", proc.stdout)
+        self.assertIn("BM_Demo/chunk:2/manual_time", proc.stdout)
+        self.assertIn("2.5", proc.stdout)
+
+    def test_baseline_diff_columns(self):
+        self.write("base/e99_demo.json", results_fixture(
+            "e99_demo",
+            [("BM_Demo/chunk:1/manual_time", 800, {"p99_cycles": 800}),
+             ("BM_Demo/chunk:2/manual_time", 800, {"p99_cycles": 800})]))
+        proc = self.run_summary(
+            self.candidate(), "--baseline",
+            os.path.join(self.tmp.name, "base"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # 1000 cycles vs baseline 800 = +25%; identical row = +0.00%.
+        self.assertIn("+25.00%", proc.stdout)
+        self.assertIn("+0.00%", proc.stdout)
+
+    def test_row_absent_from_baseline_marked_new(self):
+        self.write("base/e99_demo.json", results_fixture(
+            "e99_demo",
+            [("BM_Demo/chunk:1/manual_time", 1000, {})]))
+        proc = self.run_summary(
+            self.candidate(), "--baseline",
+            os.path.join(self.tmp.name, "base"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("new", proc.stdout)
+
+    # ---- --require pass/fail -------------------------------------------
+
+    def test_require_pass(self):
+        proc = self.run_summary(
+            self.candidate(), "--require", "speedup", ">=", "2.0")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_require_fail_exits_2(self):
+        proc = self.run_summary(
+            self.candidate(speedup=1.5),
+            "--require", "speedup", ">=", "2.0")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("REQUIRE FAILED", proc.stderr)
+        self.assertIn("speedup=1.5 not >= 2.0", proc.stderr)
+
+    def test_require_absent_counter_exits_2(self):
+        proc = self.run_summary(
+            self.candidate(), "--require", "no_such_counter", ">=", "1")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("absent from this row", proc.stderr)
+
+    def test_require_non_numeric_value_exits_1(self):
+        proc = self.run_summary(
+            self.candidate(), "--require", "speedup", ">=", "fast")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("numeric VALUE", proc.stderr)
+
+    def test_require_unknown_operator_exits_1(self):
+        proc = self.run_summary(
+            self.candidate(), "--require", "speedup", "~=", "2.0")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unknown operator", proc.stderr)
+
+    # ---- vacuous-gate hardening (PR 6) ---------------------------------
+
+    def test_vacuous_filter_exits_2(self):
+        proc = self.run_summary(
+            self.candidate(), "--filter", "NoSuchBench",
+            "--require", "speedup", ">=", "1.0")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no row matched", proc.stderr)
+
+    def test_vacuous_filter_without_require_is_fine(self):
+        proc = self.run_summary(self.candidate(), "--filter", "NoSuchBench")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_baseline_row_missing_from_candidate_exits_2(self):
+        self.write("base/e99_demo.json", results_fixture(
+            "e99_demo",
+            [("BM_Demo/chunk:1/manual_time", 1000, {}),
+             ("BM_Demo/chunk:2/manual_time", 800, {}),
+             ("BM_Demo/chunk:4/manual_time", 700, {})]))
+        proc = self.run_summary(
+            self.candidate(), "--baseline",
+            os.path.join(self.tmp.name, "base"),
+            "--require", "speedup", ">=", "1.0")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("present in baseline but missing", proc.stderr)
+        self.assertIn("chunk:4", proc.stderr)
+
+    # ---- relative (baseline-anchored) gates ----------------------------
+
+    def test_relative_gate_pass_and_fail(self):
+        self.write("base/e99_demo.json", results_fixture(
+            "e99_demo",
+            [("BM_Demo/chunk:1/manual_time", 1000, {"p99_cycles": 1000}),
+             ("BM_Demo/chunk:2/manual_time", 800, {"p99_cycles": 700})]))
+        base = os.path.join(self.tmp.name, "base")
+        ok = self.run_summary(
+            self.candidate(), "--baseline", base, "--filter", "chunk:1/",
+            "--require", "p99_cycles", "<=+5%", "baseline")
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        # chunk:2's candidate p99 is 800 vs baseline 700: > +5%.
+        bad = self.run_summary(
+            self.candidate(), "--baseline", base, "--filter", "chunk:2/",
+            "--require", "p99_cycles", "<=+5%", "baseline")
+        self.assertEqual(bad.returncode, 2)
+        self.assertIn("REQUIRE FAILED", bad.stderr)
+
+    def test_relative_gate_missing_baseline_row_exits_2(self):
+        self.write("base/e99_demo.json", results_fixture(
+            "e99_demo",
+            [("BM_Demo/chunk:1/manual_time", 1000, {"p99_cycles": 1000})]))
+        proc = self.run_summary(
+            self.candidate(), "--baseline",
+            os.path.join(self.tmp.name, "base"),
+            "--require", "p99_cycles", "<=+5%", "baseline")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no baseline", proc.stderr)
+
+    def test_relative_gate_needs_baseline_value(self):
+        proc = self.run_summary(
+            self.candidate(), "--require", "p99_cycles", "<=+5%", "2.0")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("'baseline'", proc.stderr)
+
+    # ---- malformed input -----------------------------------------------
+
+    def test_missing_baseline_snapshot_exits_1(self):
+        empty = os.path.join(self.tmp.name, "no-snapshots")
+        os.makedirs(empty)
+        proc = self.run_summary(self.candidate(), "--baseline", empty)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no baseline for experiment", proc.stderr)
+
+    def test_not_a_results_file_exits_1(self):
+        path = self.write("bogus.json", {"schema": "something-else"})
+        proc = self.run_summary(path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not an omm-bench-v1", proc.stderr)
+
+    def test_invalid_json_exits_1(self):
+        path = self.write("broken.json", "{not json")
+        proc = self.run_summary(path)
+        self.assertEqual(proc.returncode, 1)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and not sys.argv[1].startswith("-"):
+        BENCH_SUMMARY = sys.argv.pop(1)
+    unittest.main(verbosity=2)

@@ -66,7 +66,7 @@ offload::OffloadStatus offload::detail::classifyLaunch(Machine &M,
     // but before any side effect, so recovery can simply re-run the
     // block elsewhere.
     uint64_t Wasted = FI->killWastedCycles(AccelId);
-    Accel.Clock.resetTo(std::max(Accel.FreeAt, Now) +
+    Accel.Clock.mergeTo(std::max(Accel.FreeAt, Now) +
                         M.config().OffloadLaunchCycles + Wasted);
     Accel.FreeAt = Accel.Clock.now();
     ++M.hostCounters().LaunchFaults;
@@ -109,7 +109,7 @@ offload::OffloadHandle offload::detail::hungLaunch(Machine &M,
   // wedged — so the core is abandoned like a died one; the body never
   // ran, and the caller's re-issue loop recovers the work.
   uint64_t DetectAt = WD.detectionCycle(Start + WD.launchDeadline());
-  Accel.Clock.resetTo(DetectAt);
+  Accel.Clock.mergeTo(DetectAt);
   Accel.FreeAt = DetectAt;
   ++M.hostCounters().LaunchFaults;
   ++M.hostCounters().HangsDetected;

@@ -289,7 +289,7 @@ OffloadHandle offloadBlock(sim::Machine &M, unsigned AccelId, BodyFn &&Body) {
     return detail::hungLaunch(M, AccelId, BlockId);
 
   sim::Accelerator &Accel = M.accel(AccelId);
-  Accel.Clock.resetTo(std::max(Accel.FreeAt, LaunchTime) +
+  Accel.Clock.mergeTo(std::max(Accel.FreeAt, LaunchTime) +
                       Cfg.OffloadLaunchCycles);
   uint64_t BodyStart = Accel.Clock.now();
 

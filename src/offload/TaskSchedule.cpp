@@ -94,7 +94,7 @@ TaskSchedule::RunReport TaskSchedule::run(Machine &M) {
       uint64_t Start =
           std::max({Accel.FreeAt, Ready, M.hostClock().now()}) +
           Cfg.OffloadLaunchCycles;
-      Accel.Clock.resetTo(Start);
+      Accel.Clock.mergeTo(Start);
       uint64_t BlockId = M.takeBlockId();
       LocalStore::Mark Mark = Accel.Store.mark();
       {

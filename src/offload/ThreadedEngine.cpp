@@ -1,0 +1,229 @@
+//===- offload/ThreadedEngine.cpp - Real-thread worker execution ----------===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/ThreadedEngine.h"
+
+#include "offload/ResidentWorker.h"
+#include "sim/Machine.h"
+
+#include <algorithm>
+
+using namespace omm;
+using namespace omm::offload;
+
+ThreadedEngine::ThreadedEngine(ResidentWorkerPool &Pool, unsigned NumThreads)
+    : Pool(Pool), Mux(Pool.M.attachedObserver()), Observing(Mux != nullptr) {
+  unsigned NumWorkers = static_cast<unsigned>(Pool.Live.size());
+  Workers.resize(NumWorkers);
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    Workers[W].Floor = Pool.M.accel(Pool.Live[W].AccelId).Clock.now();
+  // More threads than workers buys nothing: steps of one worker are
+  // serially dependent, so the useful width is the worker count.
+  unsigned N = std::min(std::max(1u, NumThreads), std::max(1u, NumWorkers));
+  Threads.reserve(N);
+  for (unsigned T = 0; T != N; ++T)
+    Threads.push_back(std::make_unique<ThreadState>());
+  for (unsigned T = 0; T != N; ++T)
+    Threads[T]->Th = std::thread([this, T] { threadMain(T); });
+  if (Observing) {
+    CurrentBuf = std::make_unique<sim::BufferedEvents>();
+    sim::threadObserverRedirect() = CurrentBuf.get();
+  }
+}
+
+ThreadedEngine::~ThreadedEngine() {
+  quiesceAll();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Shutdown = true;
+  }
+  for (std::unique_ptr<ThreadState> &TS : Threads)
+    TS->Cv.notify_all();
+  for (std::unique_ptr<ThreadState> &TS : Threads)
+    if (TS->Th.joinable())
+      TS->Th.join();
+  if (Observing)
+    sim::threadObserverRedirect() = nullptr;
+}
+
+void ThreadedEngine::threadMain(unsigned T) {
+  ThreadState &TS = *Threads[T];
+  for (;;) {
+    std::shared_ptr<Step> S;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      TS.Cv.wait(Lock, [&] { return Shutdown || !TS.Queue.empty(); });
+      if (TS.Queue.empty())
+        return; // Shutdown follows a full quiesce; the queue is dry.
+      S = TS.Queue.front();
+      TS.Queue.pop_front();
+    }
+    {
+      sim::ObserverRedirectScope Redirect(Observing ? &S->Events : nullptr);
+      S->Fn();
+    }
+    // The committed clock is read after the worker half so the floor
+    // jumps straight to the step's final value at retire.
+    S->ClockAfter = Pool.M.accel(Pool.Live[S->Worker].AccelId).Clock.now();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      S->Done = true;
+    }
+    DoneCv.notify_all();
+  }
+}
+
+void ThreadedEngine::start(unsigned W, std::function<void()> Fn) {
+  auto S = std::make_shared<Step>();
+  S->Fn = std::move(Fn);
+  S->Worker = W;
+  ThreadState &TS = *Threads[W % Threads.size()];
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Observing) {
+      // Engine-side events since the last step happened, in serial
+      // order, before this step's worker half.
+      sealEngineSegmentLocked();
+      Log.push_back(LogEntry{nullptr, S});
+    }
+    Workers[W].Outstanding.push_back(S);
+    TS.Queue.push_back(S);
+    reapLocked();
+    flushLocked();
+  }
+  TS.Cv.notify_one();
+}
+
+void ThreadedEngine::reapLocked() {
+  for (WorkerState &WS : Workers)
+    while (!WS.Outstanding.empty() && WS.Outstanding.front()->Done) {
+      WS.Floor = WS.Outstanding.front()->ClockAfter;
+      WS.Outstanding.pop_front();
+    }
+}
+
+void ThreadedEngine::flushLocked() {
+  if (!Observing)
+    return;
+  while (!Log.empty()) {
+    LogEntry &E = Log.front();
+    if (E.S) {
+      if (!E.S->Done)
+        break; // Replay stops at the first unretired step.
+      E.S->Events.replayTo(*Mux);
+    } else {
+      E.EngineBuf->replayTo(*Mux);
+    }
+    Log.pop_front();
+  }
+}
+
+void ThreadedEngine::sealEngineSegmentLocked() {
+  if (!Observing || CurrentBuf->empty())
+    return;
+  Log.push_back(LogEntry{std::move(CurrentBuf), nullptr});
+  CurrentBuf = std::make_unique<sim::BufferedEvents>();
+  sim::threadObserverRedirect() = CurrentBuf.get();
+}
+
+bool ThreadedEngine::isCandidate(PickMode Mode, unsigned W) const {
+  switch (Mode) {
+  case PickMode::Any:
+    return true;
+  case PickMode::Loaded:
+    return !Pool.Live[W].Box->empty();
+  case PickMode::IdleThief:
+    return Pool.Live[W].Box->empty() && !Pool.Live[W].StealParked;
+  }
+  return false;
+}
+
+bool ThreadedEngine::keyLess(unsigned A, unsigned B) const {
+  // Mirrors ResidentWorkerPool::beats over committed floors: floor
+  // clock, then executed count, then accelerator id. Executed and the
+  // id are engine-side state, so both tie-break components are exact
+  // even for an in-flight worker; only the clock is a lower bound.
+  uint64_t ClockA = Workers[A].Floor;
+  uint64_t ClockB = Workers[B].Floor;
+  if (ClockA != ClockB)
+    return ClockA < ClockB;
+  if (Pool.Live[A].Executed != Pool.Live[B].Executed)
+    return Pool.Live[A].Executed < Pool.Live[B].Executed;
+  return Pool.Live[A].AccelId < Pool.Live[B].AccelId;
+}
+
+unsigned ThreadedEngine::pickProvable(PickMode Mode) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    reapLocked();
+    flushLocked();
+    unsigned Best = ResidentWorkerPool::NoWorker;
+    unsigned E = static_cast<unsigned>(Workers.size());
+    for (unsigned W = 0; W != E; ++W) {
+      if (!isCandidate(Mode, W))
+        continue;
+      if (Best == ResidentWorkerPool::NoWorker || keyLess(W, Best))
+        Best = W;
+    }
+    // Candidacy (backlog emptiness, park flags) is engine-side state,
+    // so an empty candidate set is exact, not conservative.
+    if (Best == ResidentWorkerPool::NoWorker)
+      return Best;
+    // A quiesced argmin's key is exact and every competitor's floor key
+    // already loses to it; clocks only grow, so the competitor's final
+    // key loses too — this is the serial pick. An in-flight argmin
+    // could still be overtaken, so wait for a retire and re-decide.
+    if (Workers[Best].Outstanding.empty())
+      return Best;
+    DoneCv.wait(Lock);
+  }
+}
+
+unsigned ThreadedEngine::pickWorker() { return pickProvable(PickMode::Any); }
+
+unsigned ThreadedEngine::pickLoadedWorker() {
+  return pickProvable(PickMode::Loaded);
+}
+
+unsigned ThreadedEngine::pickIdleThief() {
+  return pickProvable(PickMode::IdleThief);
+}
+
+void ThreadedEngine::quiesce(unsigned W) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  DoneCv.wait(Lock, [&] {
+    reapLocked();
+    return Workers[W].Outstanding.empty();
+  });
+  flushLocked();
+}
+
+void ThreadedEngine::quiesceAll() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  DoneCv.wait(Lock, [&] {
+    reapLocked();
+    for (const WorkerState &WS : Workers)
+      if (!WS.Outstanding.empty())
+        return false;
+    return true;
+  });
+  // With nothing in flight the whole log is retired; seal so trailing
+  // engine-side events replay before whatever the epoch does next.
+  sealEngineSegmentLocked();
+  flushLocked();
+}
+
+void ThreadedEngine::refreshFloor(unsigned W) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Workers[W].Floor = Pool.M.accel(Pool.Live[W].AccelId).Clock.now();
+}
+
+void ThreadedEngine::refreshAllFloors() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (unsigned W = 0, E = static_cast<unsigned>(Workers.size()); W != E; ++W)
+    Workers[W].Floor = Pool.M.accel(Pool.Live[W].AccelId).Clock.now();
+}

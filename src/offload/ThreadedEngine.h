@@ -1,0 +1,180 @@
+//===- offload/ThreadedEngine.h - Real-thread worker execution -*- C++ -*-===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The threaded execution engine: runs resident workers' descriptor
+/// bodies on real host threads while reproducing the serial engine's
+/// schedule bit for bit — cycle counts, PerfCounters, checksums and
+/// trace event order are all identical at any thread count.
+///
+/// The design splits every descriptor execution into two halves:
+///
+///   - The *engine half* runs on the pool's calling thread (the engine
+///     thread) the moment the step is issued, in exactly the serial
+///     issue order: the structural mailbox pop, the dispatch-side
+///     counters, and — for a continuation — the child descriptor's
+///     construction and placeholder insertion into the recipient's
+///     backlog. Everything a later scheduling decision can observe
+///     (backlog sizes, executed counts, locality keys, sequence
+///     numbers) is therefore serial-exact at every decision point.
+///
+///   - The *worker half* (poll spin, descriptor fetch, fault-stream
+///     draws, the body itself, busy-cycle accounting, parcel send
+///     costs) runs asynchronously on the worker's host thread,
+///     advancing only that accelerator's private clock, counters, DMA
+///     engine and local store. Per-accelerator state is confined to one
+///     thread at a time, so no lock guards any simulated device.
+///
+/// Determinism then reduces to one obligation: the engine must issue
+/// steps in the order the serial engine would have. Picks provide this
+/// via conservative lookahead — a worker's clock can only move forward,
+/// so a quiesced candidate whose exact (clock, executed, id) key beats
+/// every in-flight competitor's *committed-clock floor* is provably the
+/// serial argmin; otherwise the engine blocks until enough steps retire
+/// to decide. Cross-worker interactions that cannot be split this way
+/// (steal probe + grant, and anything the fault injector could re-route)
+/// quiesce the involved worker — or the whole pool — first, acting as
+/// the epoch boundaries between which workers run free.
+///
+/// Observer bit-identity: each step buffers its events (BufferedEvents
+/// via the thread-local redirect) and engine-side events buffer into
+/// ordered segments; the log replays into the attached mux strictly in
+/// issue order, which equals serial event order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMM_OFFLOAD_THREADEDENGINE_H
+#define OMM_OFFLOAD_THREADEDENGINE_H
+
+#include "sim/DmaObserver.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omm::offload {
+
+class ResidentWorkerPool;
+
+/// One pool's threaded execution session: owns the worker threads and
+/// the in-flight step bookkeeping for the lifetime of one parallel
+/// region. Created by ResidentWorkerPool when the machine's HostThreads
+/// knob (or OMM_HOST_THREADS) is non-zero and the region is free of
+/// schedule-rerouting hazards; destroyed (after a full quiesce) when the
+/// pool closes. All public methods are engine-thread-only.
+class ThreadedEngine {
+public:
+  ThreadedEngine(ResidentWorkerPool &Pool, unsigned NumThreads);
+  ~ThreadedEngine();
+
+  ThreadedEngine(const ThreadedEngine &) = delete;
+  ThreadedEngine &operator=(const ThreadedEngine &) = delete;
+
+  /// Issues worker \p W's next step: \p Fn is the worker half, queued
+  /// FIFO onto W's host thread. The engine half must already have run.
+  void start(unsigned W, std::function<void()> Fn);
+
+  /// Blocking, provably serial-identical picks (see file comment).
+  /// Candidate sets mirror the serial pickers exactly; the return value
+  /// is the worker the serial engine would have picked.
+  unsigned pickWorker();
+  unsigned pickLoadedWorker();
+  unsigned pickIdleThief();
+
+  /// Blocks until every step issued to \p W has retired, so the
+  /// engine may read or mutate W's accelerator state directly.
+  void quiesce(unsigned W);
+
+  /// Blocks until every issued step has retired and every buffered
+  /// event has been replayed — the pool-wide epoch boundary.
+  void quiesceAll();
+
+  /// Re-reads \p W's accelerator clock into the committed floor after
+  /// an engine-side mutation (steal costs, an inline serial step).
+  /// \p W must be quiesced.
+  void refreshFloor(unsigned W);
+  void refreshAllFloors();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+private:
+  /// One issued step: the worker half, its buffered events, and the
+  /// retire handshake. ClockAfter is written by the worker thread
+  /// before Done flips under the engine mutex.
+  struct Step {
+    std::function<void()> Fn;
+    sim::BufferedEvents Events;
+    uint64_t ClockAfter = 0;
+    unsigned Worker = 0;
+    bool Done = false;
+  };
+
+  /// Per-worker in-flight queue (steps retire in FIFO order — each
+  /// worker's steps share one host thread) and the committed-clock
+  /// floor: the accelerator clock after the last retired step, a sound
+  /// lower bound on the clock any in-flight step will commit.
+  struct WorkerState {
+    std::deque<std::shared_ptr<Step>> Outstanding;
+    uint64_t Floor = 0;
+  };
+
+  /// One host thread: drains its queue in issue order. Workers map to
+  /// threads statically (worker W -> thread W % N), which preserves
+  /// per-worker FIFO and the producer-before-consumer issue order that
+  /// makes parcel landings deadlock-free.
+  struct ThreadState {
+    std::condition_variable Cv;
+    std::deque<std::shared_ptr<Step>> Queue;
+    std::thread Th;
+  };
+
+  /// Ordered event log: engine-side segments interleave with steps in
+  /// issue order; replay drains the longest retired prefix.
+  struct LogEntry {
+    std::unique_ptr<sim::BufferedEvents> EngineBuf;
+    std::shared_ptr<Step> S;
+  };
+
+  enum class PickMode { Any, Loaded, IdleThief };
+
+  void threadMain(unsigned T);
+  void reapLocked();
+  void flushLocked();
+  void sealEngineSegmentLocked();
+  unsigned pickProvable(PickMode Mode);
+  bool isCandidate(PickMode Mode, unsigned W) const;
+  /// True when A's key (floor clock, executed, accel id) orders before
+  /// B's — the serial beats() tuple over committed floors.
+  bool keyLess(unsigned A, unsigned B) const;
+
+  ResidentWorkerPool &Pool;
+  /// The real observer mux (redirect bypassed), or null when nothing is
+  /// attached — event buffering and replay are skipped entirely then.
+  sim::DmaObserver *Mux = nullptr;
+  bool Observing = false;
+
+  std::mutex Mu;
+  std::condition_variable DoneCv;
+  bool Shutdown = false;
+  std::vector<WorkerState> Workers;
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  std::deque<LogEntry> Log;
+  /// Engine-thread events since the last seal; the thread-local
+  /// redirect points here while the session is open.
+  std::unique_ptr<sim::BufferedEvents> CurrentBuf;
+};
+
+} // namespace omm::offload
+
+#endif // OMM_OFFLOAD_THREADEDENGINE_H

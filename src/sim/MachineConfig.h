@@ -264,6 +264,18 @@ struct MachineConfig {
   /// is the equivalent main-memory round trip).
   uint64_t PeerDescriptorDmaCycles = 200;
 
+  /// Host worker threads for the threaded execution engine
+  /// (offload/ThreadedEngine.h): 0 (the default) keeps the classic
+  /// serial engine — every resident-worker region runs on the calling
+  /// host thread, byte-for-byte the historical schedule. N > 0 lets a
+  /// resident-worker region execute descriptor bodies on up to N real
+  /// host threads between epoch commits; the merged schedule (cycle
+  /// counts, PerfCounters, checksums, trace event order) is
+  /// bit-identical to Threads = 0 at any N. The OMM_HOST_THREADS
+  /// environment variable, when set, overrides this knob at Machine
+  /// construction (so sweeps can race existing configs unchanged).
+  unsigned HostThreads = 0;
+
   /// When true the machine behaves as a traditional single-space SMP:
   /// accelerators address main memory directly at HostAccessCycles and
   /// DMA degenerates to a cheap copy. Used as the paper's "traditional

@@ -25,9 +25,9 @@ TEST(CycleClock, AdvanceAndStallAccounting) {
 TEST(CycleClock, ResetToNeverGoesBackward) {
   CycleClock Clock;
   Clock.advance(500);
-  Clock.resetTo(200);
+  Clock.mergeTo(200);
   EXPECT_EQ(Clock.now(), 500u);
-  Clock.resetTo(900);
+  Clock.mergeTo(900);
   EXPECT_EQ(Clock.now(), 900u);
 }
 

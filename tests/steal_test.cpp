@@ -97,6 +97,7 @@ TEST(WorkStealing, StealClaimsHalfTheTailInOrder) {
     ASSERT_TRUE(Pool.executeNext(W1, ThiefBody, Orphans));
   while (!Pool.mailbox(W0).empty())
     ASSERT_TRUE(Pool.executeNext(W0, VictimBody, Orphans));
+  Pool.sync(); // Commit in-flight steps before reading the order logs.
   EXPECT_EQ(ThiefOrder, (std::vector<uint32_t>{4, 5, 6, 7}));
   EXPECT_EQ(VictimOrder, (std::vector<uint32_t>{0, 1, 2, 3}));
   Pool.close();
@@ -119,11 +120,13 @@ TEST(WorkStealing, StolenDescriptorsPopWithoutTheFetchDma) {
   std::vector<WorkDescriptor> Orphans;
   auto Empty = [](OffloadContext &, uint32_t, uint32_t) {};
   ASSERT_TRUE(Pool.executeNext(W1, Empty, Orphans));
+  Pool.sync(); // Commit the step before reading the thief's clock.
   // Zero-cost body, local descriptor: the pop advances nothing.
   EXPECT_EQ(M.accel(1).Clock.now(), Before);
   // A bulk-placed (not stolen) descriptor still pays the fetch.
   uint64_t VictimBefore = M.accel(0).Clock.now();
   ASSERT_TRUE(Pool.executeNext(W0, Empty, Orphans));
+  Pool.sync();
   EXPECT_GE(M.accel(0).Clock.now(),
             VictimBefore + Cfg.MailboxDescriptorCycles);
   while (!Pool.mailbox(W0).empty())

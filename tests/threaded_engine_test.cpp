@@ -1,0 +1,407 @@
+//===- tests/threaded_engine_test.cpp - Threaded engine bit-identity -----===//
+//
+// Part of offload-mm, a reproduction of "The Impact of Diverse Memory
+// Architectures on Multicore Consumer Software" (Russell et al., MSPC'11).
+//
+//===----------------------------------------------------------------------===//
+//
+// The threaded execution engine's whole contract is one sentence: at any
+// host thread count, the merged schedule is bit-identical to the serial
+// engine. These tests state that literally. Every scenario is run once
+// at HostThreads = 0 and once at the parameterised thread count, and the
+// two runs are compared on a full fingerprint: host and accelerator
+// clocks, every PerfCounters word, the output data in main memory, the
+// region stats, and the complete trace-event timeline (order included).
+//
+// The fixture clears OMM_HOST_THREADS for the duration of each test:
+// the environment override beats MachineConfig::HostThreads, and the
+// threaded soak jobs export it process-wide — without the clear, the
+// "serial" baseline would silently run threaded too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offload/JobQueue.h"
+#include "offload/Parcel.h"
+#include "offload/Ptr.h"
+#include "sim/Machine.h"
+#include "trace/TraceRecorder.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace omm;
+using namespace omm::offload;
+using namespace omm::sim;
+
+namespace {
+
+/// Clears an environment variable for one scope, restoring the prior
+/// value (or prior absence) on exit.
+struct ScopedEnvClear {
+  explicit ScopedEnvClear(const char *Name) : Name(Name) {
+    if (const char *Env = std::getenv(Name)) {
+      Saved = Env;
+      Had = true;
+    }
+    unsetenv(Name);
+  }
+  ~ScopedEnvClear() {
+    if (Had)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+  const char *Name;
+  std::string Saved;
+  bool Had = false;
+};
+
+/// Every PerfCounters field is a uint64_t, so the struct serialises as
+/// raw words with no padding ambiguity.
+void serializeCounters(std::ostream &OS, const char *Tag,
+                       const PerfCounters &C) {
+  static_assert(sizeof(PerfCounters) % sizeof(uint64_t) == 0,
+                "PerfCounters must be whole uint64_t words");
+  uint64_t Words[sizeof(PerfCounters) / sizeof(uint64_t)];
+  std::memcpy(Words, &C, sizeof(C));
+  OS << Tag;
+  for (uint64_t W : Words)
+    OS << ' ' << W;
+  OS << '\n';
+}
+
+void serializeState(std::ostream &OS, Machine &M) {
+  OS << "host " << M.hostClock().now() << '\n';
+  serializeCounters(OS, "hostc", M.hostCounters());
+  for (unsigned I = 0; I != M.numAccelerators(); ++I) {
+    Accelerator &A = M.accel(I);
+    OS << "accel " << I << ' ' << A.Clock.now() << ' ' << A.FreeAt << ' '
+       << A.Alive << '\n';
+    serializeCounters(OS, "accelc", A.Counters);
+  }
+}
+
+/// The full recorded timeline, field by field, in recorded order. Text
+/// (not memcmp) because the record structs have padding.
+void serializeTrace(std::ostream &OS, const trace::TraceRecorder &Rec) {
+  for (const auto &B : Rec.blocks())
+    OS << "block " << B.BlockId << ' ' << B.AccelId << ' ' << B.BeginCycle
+       << ' ' << B.EndCycle << ' ' << B.BytesIn << ' ' << B.BytesOut << ' '
+       << B.Transfers << ' ' << B.LocalAccesses << ' ' << B.LocalStorePeak
+       << '\n';
+  for (const auto &W : Rec.waits())
+    OS << "wait " << W.AccelId << ' ' << W.TagMask << ' ' << W.BeginCycle
+       << ' ' << W.EndCycle << ' ' << W.BlockId << '\n';
+  for (const auto &T : Rec.transfers())
+    OS << "dma " << T.Id << ' ' << static_cast<int>(T.Dir) << ' ' << T.AccelId
+       << ' ' << T.Local.Value << ' ' << T.Global.Value << ' ' << T.Size
+       << ' ' << T.Tag << ' ' << T.Fenced << ' ' << T.Barriered << ' '
+       << T.IssueCycle << ' ' << T.CompleteCycle << '\n';
+  for (const auto &F : Rec.faults())
+    OS << "fault " << static_cast<int>(F.Kind) << ' ' << F.AccelId << ' '
+       << F.BlockId << ' ' << F.Cycle << ' ' << F.Detail << '\n';
+  for (const auto &D : Rec.descriptors())
+    OS << "desc " << D.BlockId << ' ' << D.AccelId << ' ' << D.Seq << ' '
+       << D.Begin << ' ' << D.End << ' ' << D.BeginCycle << ' ' << D.EndCycle
+       << '\n';
+  for (const auto &E : Rec.mailboxEvents())
+    OS << "mbox " << static_cast<int>(E.Kind) << ' ' << E.AccelId << ' '
+       << E.BlockId << ' ' << E.Seq << ' ' << E.Cycle << ' ' << E.Detail
+       << ' ' << E.Begin << ' ' << E.End << ' ' << E.EndCycle << '\n';
+}
+
+using Scenario = std::function<void(Machine &, std::ostream &)>;
+
+struct RunFingerprint {
+  std::string Trace;
+  std::string State; ///< Scenario stats + data checksum + machine state.
+};
+
+RunFingerprint runScenario(const MachineConfig &Base, unsigned Threads,
+                           const Scenario &Run, bool Observe = true) {
+  MachineConfig Cfg = Base;
+  Cfg.HostThreads = Threads;
+  Machine M(Cfg);
+  RunFingerprint FP;
+  std::ostringstream State;
+  if (Observe) {
+    std::ostringstream Trace;
+    trace::TraceRecorder Rec(M);
+    Run(M, State);
+    serializeTrace(Trace, Rec);
+    FP.Trace = Trace.str();
+  } else {
+    Run(M, State);
+  }
+  serializeState(State, M);
+  FP.State = State.str();
+  return FP;
+}
+
+/// Reports the first line where the two fingerprints diverge instead of
+/// dumping two multi-kilobyte strings at each other.
+void expectIdentical(const std::string &Serial, const std::string &Threaded,
+                     const char *What, const char *Case, unsigned Threads) {
+  if (Serial == Threaded)
+    return;
+  std::istringstream A(Serial), B(Threaded);
+  std::string LineA, LineB;
+  unsigned LineNo = 1;
+  while (std::getline(A, LineA) && std::getline(B, LineB) && LineA == LineB)
+    ++LineNo;
+  ADD_FAILURE() << Case << " at " << Threads << " threads: " << What
+                << " diverges from serial at line " << LineNo
+                << "\n  serial:   " << LineA << "\n  threaded: " << LineB;
+}
+
+uint64_t skewedCost(uint32_t Index, uint32_t Count) {
+  return Index > Count - Count / 8 ? 20000 : 200;
+}
+
+/// Skewed-cost chunked queue writing one word per index; the scenario
+/// that drives doorbells, idle polls and (when the config arms it)
+/// steal probes and transfers.
+void stealQueueScenario(Machine &M, std::ostream &OS) {
+  constexpr uint32_t Count = 400;
+  OuterPtr<uint64_t> Data(M.allocGlobal(Count * sizeof(uint64_t)));
+  JobQueueOptions Opts;
+  Opts.ChunkSize = 8;
+  JobRunStats Stats = distributeJobs(
+      M, Count, Opts, [&](auto &Ctx, uint32_t Begin, uint32_t End) {
+        for (uint32_t I = Begin; I != End; ++I) {
+          Ctx.compute(skewedCost(I, Count));
+          Ctx.outerWrite((Data + I).addr(), uint64_t{I} * 2654435761u + 99);
+        }
+      });
+  OS << "stats " << Stats.MakespanCycles << ' ' << Stats.Launches << ' '
+     << Stats.DescriptorsDispatched << ' ' << Stats.StealsAttempted << ' '
+     << Stats.StealsSucceeded << ' ' << Stats.DescriptorsStolen << ' '
+     << Stats.StealCycles << ' ' << Stats.RequeuedChunks << ' '
+     << Stats.DeadWorkers << ' ' << Stats.HostChunks << '\n';
+  for (uint64_t Busy : Stats.WorkerBusyCycles)
+    OS << "busy " << Busy << '\n';
+  for (uint32_t Chunks : Stats.WorkerChunks)
+    OS << "chunks " << Chunks << '\n';
+  uint64_t Sum = 0;
+  for (uint32_t I = 0; I != Count; ++I)
+    Sum += M.hostRead<uint64_t>((Data + I).addr()) * (I + 1);
+  OS << "data " << Sum << '\n';
+}
+
+/// Guided self-scheduling variant: chunk sizes shrink as the queue
+/// drains, so the doorbell/fetch interleaving differs from the fixed
+/// split above.
+void adaptiveQueueScenario(Machine &M, std::ostream &OS) {
+  constexpr uint32_t Count = 500;
+  OuterPtr<uint64_t> Data(M.allocGlobal(Count * sizeof(uint64_t)));
+  JobQueueOptions Opts;
+  Opts.ChunkSize = 4;
+  Opts.Adaptive = true;
+  Opts.TargetChunksPerWorker = 3;
+  JobRunStats Stats = distributeJobs(
+      M, Count, Opts, [&](auto &Ctx, uint32_t Begin, uint32_t End) {
+        for (uint32_t I = Begin; I != End; ++I) {
+          Ctx.compute(skewedCost(I, Count));
+          Ctx.outerWrite((Data + I).addr(), uint64_t{I} * 40503u + 7);
+        }
+      });
+  OS << "stats " << Stats.MakespanCycles << ' ' << Stats.Launches << ' '
+     << Stats.DescriptorsDispatched << '\n';
+  for (uint64_t Busy : Stats.WorkerBusyCycles)
+    OS << "busy " << Busy << '\n';
+  uint64_t Sum = 0;
+  for (uint32_t I = 0; I != Count; ++I)
+    Sum += M.hostRead<uint64_t>((Data + I).addr()) * (I + 1);
+  OS << "data " << Sum << '\n';
+}
+
+/// Three-stage dataflow: worker-to-worker parcels under the given
+/// spawn policy, each stage reading the previous stage's words back
+/// out of main memory.
+Scenario dataflowScenario(ParcelPolicy Policy) {
+  return [Policy](Machine &M, std::ostream &OS) {
+    constexpr uint32_t Count = 256;
+    OuterPtr<uint64_t> Data(M.allocGlobal(Count * sizeof(uint64_t)));
+    for (uint32_t I = 0; I != Count; ++I)
+      M.hostWrite<uint64_t>((Data + I).addr(), I);
+    DataflowOptions Opts;
+    Opts.ChunkSize = 16;
+    Opts.NumStages = 3;
+    Opts.Policy = Policy;
+    DataflowStats Stats = runDataflow(
+        M, Count, Opts, [&](auto &Ctx, const WorkDescriptor &Desc) {
+          Ctx.compute((Desc.End - Desc.Begin) * 40);
+          for (uint32_t I = Desc.Begin; I != Desc.End; ++I) {
+            uint64_t V = Ctx.template outerRead<uint64_t>((Data + I).addr());
+            Ctx.outerWrite((Data + I).addr(), V * 33 + Desc.Kernel);
+          }
+        });
+    OS << "stats " << Stats.MakespanCycles << ' ' << Stats.Seeds << ' '
+       << Stats.ParcelsSpawned << ' ' << Stats.PeerDoorbellCycles << ' '
+       << Stats.DescriptorsDispatched << ' ' << Stats.HostChunks << ' '
+       << Stats.Launches << ' ' << Stats.RequeuedChunks << '\n';
+    uint64_t Sum = 0;
+    for (uint32_t I = 0; I != Count; ++I)
+      Sum += M.hostRead<uint64_t>((Data + I).addr()) * (I + 1);
+    OS << "data " << Sum << '\n';
+  };
+}
+
+struct Case {
+  const char *Name;
+  MachineConfig Cfg;
+  Scenario Run;
+};
+
+/// The grid the ISSUE asks for: steal probe/grant traffic, parcel
+/// delivery under every policy, and the parallel-safe slice of the
+/// fault grid (DMA failures and delays draw from per-accelerator
+/// streams, so the engine stays eligible with them armed).
+std::vector<Case> bitIdentityCases() {
+  std::vector<Case> Cases;
+  {
+    MachineConfig Cfg;
+    Cfg.WorkStealing = StealPolicy::LocalityAware;
+    Cases.push_back({"steal-locality", Cfg, stealQueueScenario});
+  }
+  {
+    MachineConfig Cfg;
+    Cfg.WorkStealing = StealPolicy::Rotation;
+    Cases.push_back({"steal-rotation", Cfg, stealQueueScenario});
+  }
+  {
+    MachineConfig Cfg;
+    Cases.push_back({"adaptive-queue", Cfg, adaptiveQueueScenario});
+  }
+  {
+    MachineConfig Cfg;
+    Cases.push_back({"dataflow-ring", Cfg, dataflowScenario(ParcelPolicy::Ring)});
+  }
+  {
+    MachineConfig Cfg;
+    Cases.push_back({"dataflow-self", Cfg, dataflowScenario(ParcelPolicy::Self)});
+  }
+  {
+    MachineConfig Cfg;
+    Cases.push_back({"dataflow-least-loaded", Cfg,
+                     dataflowScenario(ParcelPolicy::LeastLoaded)});
+  }
+  {
+    MachineConfig Cfg;
+    Cfg.WorkStealing = StealPolicy::LocalityAware;
+    Cfg.Faults.Enabled = true;
+    Cfg.Faults.Seed = 0x5eedf00d;
+    Cfg.Faults.DmaFailRate = 0.05f;
+    Cfg.Faults.DmaDelayRate = 0.10f;
+    Cases.push_back({"dma-fault-grid", Cfg, stealQueueScenario});
+  }
+  {
+    MachineConfig Cfg;
+    Cfg.Faults.Enabled = true;
+    Cfg.Faults.Seed = 0x5eedf00d;
+    Cfg.Faults.DmaFailRate = 0.05f;
+    Cases.push_back({"dataflow-dma-faults", Cfg,
+                     dataflowScenario(ParcelPolicy::Ring)});
+  }
+  return Cases;
+}
+
+class ThreadedBitIdentity : public ::testing::TestWithParam<unsigned> {
+protected:
+  ScopedEnvClear Env{"OMM_HOST_THREADS"};
+};
+
+TEST_P(ThreadedBitIdentity, MatchesSerialSchedule) {
+  unsigned Threads = GetParam();
+  for (const Case &C : bitIdentityCases()) {
+    RunFingerprint Serial = runScenario(C.Cfg, 0, C.Run);
+    RunFingerprint Threaded = runScenario(C.Cfg, Threads, C.Run);
+    expectIdentical(Serial.State, Threaded.State, "machine state", C.Name,
+                    Threads);
+    expectIdentical(Serial.Trace, Threaded.Trace, "trace timeline", C.Name,
+                    Threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadedBitIdentity,
+                         ::testing::Values(2u, 4u, 8u));
+
+class ThreadedEngineTest : public ::testing::Test {
+protected:
+  ScopedEnvClear Env{"OMM_HOST_THREADS"};
+};
+
+// The engine only buffers and replays observer events when a real
+// observer is attached; attaching one must not perturb the simulated
+// schedule, and running blind must not either.
+TEST_F(ThreadedEngineTest, ObserverPresenceDoesNotPerturbSchedule) {
+  MachineConfig Cfg;
+  Cfg.WorkStealing = StealPolicy::LocalityAware;
+  RunFingerprint Serial = runScenario(Cfg, 0, stealQueueScenario);
+  RunFingerprint Observed = runScenario(Cfg, 4, stealQueueScenario);
+  RunFingerprint Blind =
+      runScenario(Cfg, 4, stealQueueScenario, /*Observe=*/false);
+  EXPECT_EQ(Serial.State, Observed.State);
+  EXPECT_EQ(Serial.State, Blind.State);
+}
+
+// Chunk-hazard fault rates (death/hang/straggler verdicts drawn inside
+// a step) make the engine decline at pool open; the run must still be
+// exactly the serial schedule — never a wrong answer, never a crash.
+TEST_F(ThreadedEngineTest, ChunkHazardsFallBackToSerialEngine) {
+  MachineConfig Cfg;
+  Cfg.Faults.Enabled = true;
+  Cfg.Faults.Seed = 0xdead5eed;
+  Cfg.Faults.AccelDeathRate = 0.2f;
+  RunFingerprint Serial = runScenario(Cfg, 0, stealQueueScenario);
+  RunFingerprint Threaded = runScenario(Cfg, 8, stealQueueScenario);
+  EXPECT_EQ(Serial.State, Threaded.State);
+  EXPECT_EQ(Serial.Trace, Threaded.Trace);
+}
+
+// A one-worker pool has no cross-worker interactions to overlap; the
+// engine declines and the schedule is untouched.
+TEST_F(ThreadedEngineTest, SingleWorkerPoolStaysSerial) {
+  MachineConfig Cfg;
+  auto Run = [](Machine &M, std::ostream &OS) {
+    JobQueueOptions Opts;
+    Opts.ChunkSize = 8;
+    Opts.MaxWorkers = 1;
+    JobRunStats Stats =
+        distributeJobs(M, 200, Opts, [&](auto &Ctx, uint32_t B, uint32_t E) {
+          Ctx.compute((E - B) * 300);
+        });
+    OS << "stats " << Stats.MakespanCycles << ' '
+       << Stats.DescriptorsDispatched << '\n';
+  };
+  RunFingerprint Serial = runScenario(Cfg, 0, Run);
+  RunFingerprint Threaded = runScenario(Cfg, 4, Run);
+  EXPECT_EQ(Serial.State, Threaded.State);
+  EXPECT_EQ(Serial.Trace, Threaded.Trace);
+}
+
+// OMM_HOST_THREADS beats the config knob; garbage and out-of-range
+// values fall back to it.
+TEST_F(ThreadedEngineTest, EnvOverrideResolvesHostThreads) {
+  MachineConfig Cfg;
+  Cfg.HostThreads = 5;
+  EXPECT_EQ(Machine(Cfg).resolvedHostThreads(), 5u);
+
+  setenv("OMM_HOST_THREADS", "3", 1);
+  EXPECT_EQ(Machine(Cfg).resolvedHostThreads(), 3u);
+  setenv("OMM_HOST_THREADS", "0", 1);
+  EXPECT_EQ(Machine(Cfg).resolvedHostThreads(), 0u);
+  setenv("OMM_HOST_THREADS", "12oops", 1);
+  EXPECT_EQ(Machine(Cfg).resolvedHostThreads(), 5u);
+  setenv("OMM_HOST_THREADS", "99999", 1);
+  EXPECT_EQ(Machine(Cfg).resolvedHostThreads(), 5u);
+  unsetenv("OMM_HOST_THREADS");
+}
+
+} // namespace

@@ -11,15 +11,18 @@
 #                    on, warnings promoted to errors), everything
 #                    except the `soak` label (includes the sweep-runner
 #                    byte-identity and bench-toolchain tests)
-#   2. bench smoke — tiny E10 + E11 + E12 + E13 runs through
+#   2. bench smoke — tiny E10 + E11 + E12 + E13 + E15 runs through
 #                    tools/sweeprun (the parallel sweep runner CI and
 #                    developers share): the benches abort on any
 #                    checksum divergence, and bench_summary.py asserts
 #                    the finest-chunk speedup floor (E10), the p99
 #                    frame-cycle tail against the committed baseline
-#                    (E11), the work-stealing p99 win floor (E12), and
-#                    the parcel-dataflow frame-cycle win over the
-#                    host-staged schedule (E13); per-shard logs land
+#                    (E11), the work-stealing p99 win floor (E12), the
+#                    parcel-dataflow frame-cycle win over the
+#                    host-staged schedule (E13), and the multi-tenant
+#                    isolation ceiling — a hang or straggler in one
+#                    tenant may not move the other tenants' pooled p99
+#                    by more than 5% (E15); per-shard logs land
 #                    in build/bench/sweep-logs/ for failure triage
 #   3. build-asan/ — the same tests under AddressSanitizer + UBSanitizer
 #   4. soak        — the long randomised fault-injection endurance runs
@@ -131,6 +134,26 @@ if [ "$(nproc)" -ge 4 ]; then
 else
     echo "skipping speedup_vs_serial gate: $(nproc) core(s) < 4"
 fi
+
+echo "=== bench smoke: multi-tenant serving (E15, via tools/sweeprun) ==="
+python3 tools/sweeprun --jobs "$JOBS" \
+    --filter 'FaultIsolation|tenants:4/' \
+    --out build/bench/BENCH_e15_smoke.json --log-dir "$SWEEP_LOGS/e15" \
+    build/bench/bench_e15_multi_tenant
+python3 tools/bench_summary.py build/bench/BENCH_e15_smoke.json \
+    --baseline BENCH_baseline \
+    --counters p99_cycles,p99_unaffected_ratio,cores_recycled
+# The isolation gate: a hang or an 8x straggler buried inside tenant
+# 0's slices may not move the OTHER tenants' pooled p99 frame cycles
+# by more than 5% over the fault-free run (the bench itself aborts on
+# any checksum divergence, so state isolation is already proven by the
+# rows existing at all).
+python3 tools/bench_summary.py build/bench/BENCH_e15_smoke.json \
+    --filter 'FaultIsolation/fault_kind:1/quarantine:0' \
+    --require p99_unaffected_ratio '<=' 1.05
+python3 tools/bench_summary.py build/bench/BENCH_e15_smoke.json \
+    --filter 'FaultIsolation/fault_kind:2/quarantine:0' \
+    --require p99_unaffected_ratio '<=' 1.05
 
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON

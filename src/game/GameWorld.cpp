@@ -326,6 +326,38 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
   return Stats;
 }
 
+uint32_t GameWorld::beginServedFrame() {
+  ServedStats = FrameStats();
+  ServedFrameStart = M.hostClock().now();
+  uint32_t AiCount = degradedAiEnd();
+  ServedStats.AiEntitiesShed = Entities.size() - AiCount;
+  buildTargetSnapshot();
+  return AiCount;
+}
+
+void GameWorld::servedAiChunk(offload::OffloadContext &Ctx, uint32_t Begin,
+                              uint32_t End) {
+  aiPassOffload(Ctx, Begin, End);
+}
+
+void GameWorld::servedAiChunkHost(uint32_t Begin, uint32_t End) {
+  aiPassHost(Begin, End);
+}
+
+FrameStats GameWorld::finishServedFrame() {
+  FrameStats Stats = ServedStats;
+  Stats.AiCycles = M.hostClock().now() - ServedFrameStart;
+
+  uint64_t Start = M.hostClock().now();
+  collisionPassHost(Stats);
+  Stats.CollisionCycles = M.hostClock().now() - Start;
+
+  updateAndRender(Stats);
+
+  finishFrame(Stats, ServedFrameStart);
+  return Stats;
+}
+
 template <typename ContextT>
 void GameWorld::aiStageShard(ContextT &Ctx, uint32_t Begin, uint32_t End) {
   uint32_t Count = Entities.size();

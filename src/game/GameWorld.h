@@ -171,6 +171,26 @@ public:
   FrameStats doFrameDataflow(sim::ParcelPolicy Policy = sim::ParcelPolicy::Ring,
                              unsigned MaxAccelerators = ~0u);
 
+  /// Split-phase resident frame, for callers that interleave this
+  /// world's AI stage with other work (the tenant server's cross-tenant
+  /// batching: one shared dispatch carries many worlds' AI chunks).
+  ///
+  ///   uint32_t N = W.beginServedFrame();      // snapshot + frame start
+  ///   ... run W.servedAiChunk/servedAiChunkHost over [0, N) in any
+  ///       chunking (per-entity AI state is chunk-boundary independent,
+  ///       the same property the adaptive resident carving relies on) ...
+  ///   FrameStats S = W.finishServedFrame();   // collision + update +
+  ///                                           // render + budget ladder
+  ///
+  /// World state is bit-identical to doFrameOffloadAiResident for the
+  /// same chunk bodies; frame *cycles* depend on the caller's dispatch
+  /// schedule, which is the point.
+  uint32_t beginServedFrame();
+  void servedAiChunk(offload::OffloadContext &Ctx, uint32_t Begin,
+                     uint32_t End);
+  void servedAiChunkHost(uint32_t Begin, uint32_t End);
+  FrameStats finishServedFrame();
+
   /// Bit-exact world state checksum (entities + poses).
   uint64_t checksum() const;
 
@@ -250,6 +270,9 @@ private:
   uint32_t Frame = 0;
   /// Graceful-degradation level carried across frames (see above).
   unsigned DegradeLevel = 0;
+  /// Split-phase frame state (beginServedFrame/finishServedFrame).
+  uint64_t ServedFrameStart = 0;
+  FrameStats ServedStats;
   /// Per-frame immutable target snapshot (TargetInfo per entity).
   sim::GlobalAddr Snapshot;
   /// Contacts detected this frame, resolved in updateEntities.

@@ -44,6 +44,8 @@ const char *sim::faultKindName(FaultKind Kind) {
     return "speculative_redispatch";
   case FaultKind::FrameDeadlineMissed:
     return "frame_deadline_missed";
+  case FaultKind::AcceleratorRecycled:
+    return "accelerator_recycled";
   }
   return "unknown_fault";
 }

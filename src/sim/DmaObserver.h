@@ -75,6 +75,8 @@ enum class FaultKind : uint8_t {
   CancelIssued,           ///< A cooperative cancel request was raised.
   SpeculativeRedispatch,  ///< A backup copy was raced vs a straggler.
   FrameDeadlineMissed,    ///< A frame exceeded its cycle budget.
+  AcceleratorRecycled,    ///< A dead core was restarted by a supervisor
+                          ///< (tenant server) and accepts launches again.
 };
 
 /// \returns a stable lower-case name for \p Kind (trace/report output).

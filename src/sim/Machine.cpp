@@ -60,6 +60,7 @@ void PerfCounters::print(OStream &OS) const {
   Row("dma injected delay cycles", DmaInjectedDelayCycles);
   Row("launch faults", LaunchFaults);
   Row("accelerators lost", AcceleratorsLost);
+  Row("accelerators recycled", AcceleratorsRecycled);
   Row("failover chunks", FailoverChunks);
   Row("host fallback chunks", HostFallbackChunks);
   Row("descriptors dispatched", DescriptorsDispatched);
@@ -115,6 +116,24 @@ void Machine::killAccelerator(unsigned Id, uint64_t BlockId) {
   ++Accel.Counters.AcceleratorsLost;
   emitFault({FaultKind::AcceleratorDeath, Id, BlockId, Accel.Clock.now(),
              /*Detail=*/0});
+}
+
+void Machine::reviveAccelerator(unsigned Id, uint64_t RestartCycles) {
+  Accelerator &Accel = accel(Id);
+  if (Accel.Alive)
+    return;
+  Accel.Alive = true;
+  // The burial path (ResidentWorkerPool::buryWorker -> closeWorker)
+  // already drained the DMA engine and reset the local-store mark; all
+  // that is left is to move the core's notion of time forward so the
+  // restart cannot execute in the simulated past.
+  uint64_t ResumeAt = std::max(Accel.Clock.now(), HostClock.now()) +
+                      RestartCycles;
+  Accel.Clock.mergeTo(ResumeAt);
+  Accel.FreeAt = std::max(Accel.FreeAt, ResumeAt);
+  ++Accel.Counters.AcceleratorsRecycled;
+  emitFault({FaultKind::AcceleratorRecycled, Id, /*BlockId=*/0,
+             Accel.Clock.now(), /*Detail=*/0});
 }
 
 void Machine::addObserver(DmaObserver *Obs) {

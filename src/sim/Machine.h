@@ -86,6 +86,15 @@ public:
   /// core died in, or 0 outside any block.
   void killAccelerator(unsigned Id, uint64_t BlockId = 0);
 
+  /// Restarts a dead core: models a supervisor (the tenant server)
+  /// recycling a worker process between serving slices. The core's clock
+  /// and FreeAt advance to at least the host clock plus \p RestartCycles
+  /// — a revived core never resumes in the past — and its local-store
+  /// state was already reset by the burial path. Reviving a live core is
+  /// a no-op. Idempotent per death; bumps AcceleratorsRecycled and
+  /// reports FaultKind::AcceleratorRecycled.
+  void reviveAccelerator(unsigned Id, uint64_t RestartCycles = 0);
+
   /// \returns the fault injector, or nullptr when fault injection is
   /// disabled (the common case: event sites pay one null test, the same
   /// discipline as observer()).
@@ -94,6 +103,11 @@ public:
   /// The deadline watchdog (always present; unarmed unless the config
   /// sets a launch or chunk deadline).
   const WatchdogTimer &watchdog() const { return Watchdog; }
+
+  /// Mutable watchdog access: the tenant server re-arms the chunk
+  /// deadline per tenant slice. Pools cache armsChunks() at
+  /// construction, so re-arming only affects pools opened afterwards.
+  WatchdogTimer &watchdog() { return Watchdog; }
 
   /// Reports \p Event to the observers, if any are attached.
   void emitFault(const FaultEvent &Event) {

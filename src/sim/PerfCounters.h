@@ -44,6 +44,8 @@ struct PerfCounters {
   uint64_t DmaInjectedDelayCycles = 0; ///< Injected latency total.
   uint64_t LaunchFaults = 0; ///< Offload launches that failed.
   uint64_t AcceleratorsLost = 0; ///< Cores that died.
+  uint64_t AcceleratorsRecycled = 0; ///< Dead cores restarted by a
+                                     ///< supervisor (tenant server).
   uint64_t FailoverChunks = 0; ///< Chunks/slices re-run on another core.
   uint64_t HostFallbackChunks = 0; ///< Chunks/slices the host ran instead.
   uint64_t DescriptorsDispatched = 0; ///< Mailbox descriptors pushed to
@@ -91,6 +93,7 @@ struct PerfCounters {
     DmaInjectedDelayCycles += Other.DmaInjectedDelayCycles;
     LaunchFaults += Other.LaunchFaults;
     AcceleratorsLost += Other.AcceleratorsLost;
+    AcceleratorsRecycled += Other.AcceleratorsRecycled;
     FailoverChunks += Other.FailoverChunks;
     HostFallbackChunks += Other.HostFallbackChunks;
     DescriptorsDispatched += Other.DescriptorsDispatched;
@@ -108,6 +111,53 @@ struct PerfCounters {
     ParcelsSpawned += Other.ParcelsSpawned;
     PeerDoorbellCycles += Other.PeerDoorbellCycles;
   }
+
+  /// Subtracts \p Other from this set of counters. With a snapshot taken
+  /// before a region of work, `after.subtract(before)` attributes the
+  /// region's events — the tenant server uses this for per-tenant
+  /// accounting. Counters are monotonic, so the subtraction never wraps
+  /// when \p Other really is an earlier snapshot of the same counters.
+  void subtract(const PerfCounters &Other) {
+    DmaGetsIssued -= Other.DmaGetsIssued;
+    DmaPutsIssued -= Other.DmaPutsIssued;
+    DmaBytesRead -= Other.DmaBytesRead;
+    DmaBytesWritten -= Other.DmaBytesWritten;
+    DmaStallCycles -= Other.DmaStallCycles;
+    DmaQueueFullStallCycles -= Other.DmaQueueFullStallCycles;
+    LocalLoads -= Other.LocalLoads;
+    LocalStores -= Other.LocalStores;
+    HostLoads -= Other.HostLoads;
+    HostStores -= Other.HostStores;
+    ComputeCycles -= Other.ComputeCycles;
+    JoinStallCycles -= Other.JoinStallCycles;
+    DmaRetries -= Other.DmaRetries;
+    DmaRetryStallCycles -= Other.DmaRetryStallCycles;
+    DmaDelayedTransfers -= Other.DmaDelayedTransfers;
+    DmaInjectedDelayCycles -= Other.DmaInjectedDelayCycles;
+    LaunchFaults -= Other.LaunchFaults;
+    AcceleratorsLost -= Other.AcceleratorsLost;
+    AcceleratorsRecycled -= Other.AcceleratorsRecycled;
+    FailoverChunks -= Other.FailoverChunks;
+    HostFallbackChunks -= Other.HostFallbackChunks;
+    DescriptorsDispatched -= Other.DescriptorsDispatched;
+    DoorbellCycles -= Other.DoorbellCycles;
+    IdlePollCycles -= Other.IdlePollCycles;
+    HangsDetected -= Other.HangsDetected;
+    StragglersDetected -= Other.StragglersDetected;
+    CancelsIssued -= Other.CancelsIssued;
+    SpeculativeRedispatches -= Other.SpeculativeRedispatches;
+    DeadlineMissedFrames -= Other.DeadlineMissedFrames;
+    StealsAttempted -= Other.StealsAttempted;
+    StealsSucceeded -= Other.StealsSucceeded;
+    DescriptorsStolen -= Other.DescriptorsStolen;
+    StealCycles -= Other.StealCycles;
+    ParcelsSpawned -= Other.ParcelsSpawned;
+    PeerDoorbellCycles -= Other.PeerDoorbellCycles;
+  }
+
+  /// Field-wise equality: the multi-tenant determinism contract compares
+  /// whole counter sets, not just checksums.
+  bool operator==(const PerfCounters &Other) const = default;
 
   /// Prints the counters as a small table.
   void print(OStream &OS) const;

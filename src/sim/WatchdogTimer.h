@@ -48,6 +48,15 @@ public:
   uint64_t chunkDeadline() const { return ChunkDeadline; }
   uint64_t checkCycles() const { return CheckCycles; }
 
+  /// Re-arms (or disarms, with 0) the per-descriptor deadline. The
+  /// tenant server uses this to give each tenant its own deadline while
+  /// serving its slice; the check grid itself never moves, so detection
+  /// cycles stay absolute functions of the config.
+  void setChunkDeadline(uint64_t Cycles) { ChunkDeadline = Cycles; }
+
+  /// Re-arms (or disarms, with 0) the per-launch deadline.
+  void setLaunchDeadline(uint64_t Cycles) { LaunchDeadline = Cycles; }
+
   /// \returns the cycle at which the watchdog's sweep first observes a
   /// deadline expiring at \p Cycle: the next absolute multiple of the
   /// check period at or after it.

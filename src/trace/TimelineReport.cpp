@@ -153,12 +153,50 @@ void trace::printTimelineReport(OStream &OS, const TraceRecorder &Rec,
        << " (doorbells " << Doorbells << ", idle polls " << IdlePolls
        << ", drained on death " << Drained << ", steals " << Steals
        << " moving " << Stolen << ", parcels " << Parcels << ")\n";
+
+    if (Steals != 0) {
+      // Who robbed whom: thief rows x victim columns, descriptor counts.
+      // Makes load-imbalance diagnosis (and cross-tenant steal leakage)
+      // one glance instead of a trace crawl.
+      unsigned Cores = M.numAccelerators();
+      std::vector<uint64_t> Matrix(static_cast<size_t>(Cores) * Cores, 0);
+      for (const DispatchEvent &E : Rec.mailboxEvents()) {
+        if (E.Kind != DispatchEventKind::StealTransfer)
+          continue;
+        unsigned Thief = E.AccelId;
+        unsigned Victim = static_cast<unsigned>(E.Detail);
+        if (Thief < Cores && Victim < Cores)
+          Matrix[static_cast<size_t>(Thief) * Cores + Victim] += E.Seq;
+      }
+      OS << "\nsteal matrix (rows thieves, columns victims, descriptors"
+            " moved):\n";
+      OS.padded("", 11);
+      for (unsigned V = 0; V != Cores; ++V) {
+        std::string Header = "v";
+        Header += std::to_string(V);
+        OS.padded(Header, 7);
+      }
+      OS << '\n';
+      for (unsigned T = 0; T != Cores; ++T) {
+        std::string Label = "  thief ";
+        Label += std::to_string(T);
+        OS.padded(Label, 11);
+        for (unsigned V = 0; V != Cores; ++V) {
+          uint64_t N = Matrix[static_cast<size_t>(T) * Cores + V];
+          if (N == 0)
+            OS.padded(".", 7);
+          else
+            OS.padded(std::to_string(N), 7);
+        }
+        OS << '\n';
+      }
+    }
   }
 
   if (!Rec.faults().empty()) {
     // Count per kind, printed in FaultKind order so the line is stable.
     constexpr unsigned NumKinds =
-        static_cast<unsigned>(FaultKind::FrameDeadlineMissed) + 1;
+        static_cast<unsigned>(FaultKind::AcceleratorRecycled) + 1;
     uint64_t Counts[NumKinds] = {};
     for (const FaultEvent &F : Rec.faults())
       ++Counts[static_cast<unsigned>(F.Kind)];

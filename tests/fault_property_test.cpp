@@ -17,6 +17,7 @@
 #include "game/GameWorld.h"
 
 #include "offload/OffloadContext.h"
+#include "server/TenantServer.h"
 #include "offload/Ptr.h"
 #include "sim/FaultInjector.h"
 #include "support/Random.h"
@@ -463,6 +464,122 @@ TEST_P(FaultRecoveryProperty, ListDmaSurvivesRandomRejectionMixes) {
   std::vector<ListRecord> Second = runListGatherScatter(Faulty);
   EXPECT_TRUE(sameRecords(First, Reference)) << "seed " << GetParam();
   EXPECT_TRUE(sameRecords(First, Second)) << "seed " << GetParam();
+}
+
+namespace {
+
+/// Seed-derived heavy-tailed tenant population for the serving rows.
+std::vector<server::TenantParams> tenantsFor(uint64_t Seed) {
+  SplitMix64 Rng(Seed ^ 0x7E4A47);
+  unsigned Count = 2 + static_cast<unsigned>(Rng.nextBelow(3));
+  return server::makeHeavyTailedTenants(Count, Rng.next(), 48);
+}
+
+struct ServedResult {
+  std::vector<uint64_t> Checksums;
+  std::vector<std::vector<uint64_t>> FrameCycles;
+  uint64_t HostCycles = 0;
+};
+
+/// Serves NumFrames round-robin ticks over the seed's population; with
+/// \p WithTenantFaults, layers one scheduled per-tenant hang or
+/// straggler per tick on top of whatever rates \p Cfg carries.
+ServedResult runServedTicks(const MachineConfig &Cfg, uint64_t Seed,
+                            bool WithTenantFaults = false) {
+  Machine M(Cfg);
+  server::TenantServer Server(M, server::TenantServerParams());
+  for (const server::TenantParams &T : tenantsFor(Seed))
+    Server.addTenant(T);
+  SplitMix64 Rng(Seed ^ 0x5E1F);
+  for (int F = 0; F != NumFrames; ++F) {
+    if (WithTenantFaults) {
+      unsigned Victim =
+          static_cast<unsigned>(Rng.nextBelow(Server.numTenants()));
+      unsigned Accel =
+          static_cast<unsigned>(Rng.nextBelow(M.numAccelerators()));
+      if (Rng.nextBool())
+        Server.scheduleTenantHang(Victim, Accel);
+      else
+        Server.scheduleTenantStraggler(Victim, Accel,
+                                       2.0f + Rng.nextFloat() * 8.0f);
+    }
+    Server.serveTick();
+  }
+  ServedResult R;
+  R.HostCycles = M.hostClock().now();
+  for (unsigned T = 0; T != Server.numTenants(); ++T) {
+    R.Checksums.push_back(Server.checksum(T));
+    R.FrameCycles.push_back(Server.stats(T).FrameCycles);
+  }
+  return R;
+}
+
+/// The sequential reference: the same worlds on one machine, each run
+/// to completion in registration order — no multiplexing at all.
+ServedResult runSequentialFrames(const MachineConfig &Cfg, uint64_t Seed) {
+  Machine M(Cfg);
+  std::vector<std::unique_ptr<GameWorld>> Worlds;
+  for (const server::TenantParams &T : tenantsFor(Seed))
+    Worlds.push_back(std::make_unique<GameWorld>(M, T.World));
+  ServedResult R;
+  for (std::unique_ptr<GameWorld> &W : Worlds) {
+    std::vector<uint64_t> Cycles;
+    for (int F = 0; F != NumFrames; ++F)
+      Cycles.push_back(W->doFrameOffloadAiResident().FrameCycles);
+    R.Checksums.push_back(W->checksum());
+    R.FrameCycles.push_back(Cycles);
+  }
+  R.HostCycles = M.hostClock().now();
+  return R;
+}
+
+} // namespace
+
+TEST_P(FaultRecoveryProperty, ZeroFaultServingMatchesSequentialBitForBit) {
+  // The tenant server's determinism contract as a property over seeded
+  // populations: at zero fault rate and unlimited budget, round-robin
+  // serving leaves every tenant's state AND per-frame cycle counts
+  // exactly as the unmultiplexed sequential run — interleaving slices
+  // is invisible, not just harmless.
+  ServedResult Served =
+      runServedTicks(MachineConfig::cellLike(), GetParam());
+  ServedResult Sequential =
+      runSequentialFrames(MachineConfig::cellLike(), GetParam());
+  EXPECT_EQ(Served.Checksums, Sequential.Checksums)
+      << "seed " << GetParam();
+  EXPECT_EQ(Served.FrameCycles, Sequential.FrameCycles)
+      << "seed " << GetParam();
+}
+
+TEST_P(FaultRecoveryProperty, TenantFaultSchedulesNeverChangeAnyState) {
+  // Per-tenant scheduled hangs and stragglers, layered over random
+  // timing-fault rates under every recovery policy, are time-only for
+  // EVERY tenant — including the victims.
+  ServedResult Reference =
+      runServedTicks(MachineConfig::cellLike(), GetParam());
+  for (DeadlinePolicy Policy :
+       {DeadlinePolicy::None, DeadlinePolicy::CancelRestart,
+        DeadlinePolicy::Speculate}) {
+    ServedResult Injected = runServedTicks(
+        timingFaultConfig(GetParam(), Policy), GetParam(),
+        /*WithTenantFaults=*/true);
+    EXPECT_EQ(Injected.Checksums, Reference.Checksums)
+        << "seed " << GetParam() << " policy "
+        << static_cast<int>(Policy);
+    EXPECT_GE(Injected.HostCycles, Reference.HostCycles);
+  }
+}
+
+TEST_P(FaultRecoveryProperty, TenantServingReplaysCycleForCycle) {
+  MachineConfig Cfg =
+      timingFaultConfig(GetParam(), DeadlinePolicy::CancelRestart);
+  ServedResult First =
+      runServedTicks(Cfg, GetParam(), /*WithTenantFaults=*/true);
+  ServedResult Second =
+      runServedTicks(Cfg, GetParam(), /*WithTenantFaults=*/true);
+  EXPECT_EQ(First.Checksums, Second.Checksums);
+  EXPECT_EQ(First.FrameCycles, Second.FrameCycles);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultRecoveryProperty,

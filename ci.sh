@@ -155,6 +155,29 @@ python3 tools/bench_summary.py build/bench/BENCH_e15_smoke.json \
     --filter 'FaultIsolation/fault_kind:2/quarantine:0' \
     --require p99_unaffected_ratio '<=' 1.05
 
+echo "=== bench smoke: accelerator domains (E16, via tools/sweeprun) ==="
+# FlatIdentity rows abort on any divergence from the premium-free flat
+# run, so the determinism contract rides along with the smoke.
+python3 tools/sweeprun --jobs "$JOBS" \
+    --filter 'penalty:128000|hot_mult:16|FlatIdentity' \
+    --out build/bench/BENCH_e16_smoke.json --log-dir "$SWEEP_LOGS/e16" \
+    build/bench/bench_e16_domains
+python3 tools/bench_summary.py build/bench/BENCH_e16_smoke.json \
+    --baseline BENCH_baseline \
+    --counters p99_cycles,domain_win_vs_oblivious,steals_remote_domain
+# The placement gate: at a punitive interconnect premium the
+# domain-aware policy must beat the best domain-oblivious stealing
+# policy by 10% on p99 frame cycles, on both the penalty sweep and the
+# skew sweep. The gate is scoped to the rows this smoke run produced:
+# with --require, bench_summary also fails on baseline rows missing
+# from the candidate.
+python3 tools/bench_summary.py build/bench/BENCH_e16_smoke.json \
+    --filter 'DomainPenalty/penalty:128000/policy:3' \
+    --require domain_win_vs_oblivious '>=' 1.1
+python3 tools/bench_summary.py build/bench/BENCH_e16_smoke.json \
+    --filter 'DomainSkew/hot_mult:16/policy:3' \
+    --require domain_win_vs_oblivious '>=' 1.1
+
 echo "=== asan+ubsan: configure + build + ctest ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOMM_SANITIZE=ON
 cmake --build build-asan -j "$JOBS"

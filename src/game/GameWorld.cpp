@@ -99,7 +99,7 @@ void GameWorld::aiPassHost(uint32_t Begin, uint32_t End) {
     AiDecision Decision =
         calculateStrategy(Self, Target, Params.Dt, Params.Ai);
     M.hostCompute(uint64_t(Decision.NodesEvaluated) *
-                  Params.Ai.CyclesPerNode);
+                  Params.Ai.CyclesPerNode * Params.aiCostMult(I));
     Entities.write(I, Self);
   }
 }
@@ -138,7 +138,8 @@ void GameWorld::aiPassOffload(offload::OffloadContext &Ctx, uint32_t Begin,
           uint32_t TargetId = defaultTargetFor(Self.Id, Count);
           TargetInfo Target = (Targets + TargetId).read(Ctx);
           AiDecision Decision = calculateStrategy(Self, Target, Dt, Ai);
-          Ctx.compute(uint64_t(Decision.NodesEvaluated) * Ai.CyclesPerNode);
+          Ctx.compute(uint64_t(Decision.NodesEvaluated) * Ai.CyclesPerNode *
+                      Params.aiCostMult(Global));
           Chunk.set(I, Self);
         }
       });
@@ -276,7 +277,8 @@ FrameStats GameWorld::doFrameOffloadAiParallel(unsigned MaxAccelerators) {
   return Stats;
 }
 
-FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
+FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators,
+                                               unsigned FirstAccelerator) {
   FrameStats Stats;
   uint64_t FrameStart = M.hostClock().now();
   uint32_t AiCount = degradedAiEnd();
@@ -293,6 +295,7 @@ FrameStats GameWorld::doFrameOffloadAiResident(unsigned MaxAccelerators) {
   offload::JobQueueOptions Opts;
   Opts.ChunkSize = Params.AiChunkElems;
   Opts.MaxWorkers = MaxAccelerators;
+  Opts.FirstAccelerator = FirstAccelerator;
   Opts.Adaptive = true;
   offload::JobRunStats Run = offload::distributeJobs(
       M, AiCount, Opts,
@@ -369,7 +372,8 @@ void GameWorld::aiStageShard(ContextT &Ctx, uint32_t Begin, uint32_t End) {
         (Targets + defaultTargetFor(I, Count)).addr());
     AiDecision Decision =
         calculateStrategy(Self, Target, Params.Dt, Params.Ai);
-    Ctx.compute(uint64_t(Decision.NodesEvaluated) * Params.Ai.CyclesPerNode);
+    Ctx.compute(uint64_t(Decision.NodesEvaluated) * Params.Ai.CyclesPerNode *
+                Params.aiCostMult(I));
     Ctx.outerWrite(Entities.entity(I).addr(), Self);
   }
 }

@@ -64,6 +64,32 @@ struct GameWorldParams {
   /// over budget raises the degradation level for following frames;
   /// a frame comfortably under (<= 80% of budget) lowers it.
   uint64_t FrameBudgetCycles = 0;
+  /// Skewed entity mix: about PathologicalAiEntities entities pay
+  /// PathologicalAiCostMult times the usual AI decision cost (a few
+  /// squad leaders running deep planners amid a crowd of cheap
+  /// followers — the load shape that makes static splits lose to
+  /// stealing). The pathological entities are hash-scattered across
+  /// the index range, the shape a live population has: clumps land in
+  /// some dispatch chunks and not others, whatever the chunk width.
+  /// Cost-only: decisions and world state are bit-identical to the
+  /// uniform mix, whatever the multiplier, so every schedule still
+  /// checksums alike. Defaults (0 / 1) charge exactly the historical
+  /// cost.
+  uint32_t PathologicalAiEntities = 0;
+  uint64_t PathologicalAiCostMult = 1;
+
+  /// Cost multiplier for entity \p EntityIndex's AI decision
+  /// (SplitMix64-finalizer threshold draw; deterministic per index).
+  uint64_t aiCostMult(uint32_t EntityIndex) const {
+    if (PathologicalAiEntities == 0 || NumEntities == 0)
+      return 1;
+    uint64_t H = EntityIndex + 0x9E3779B97F4A7C15ull;
+    H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ull;
+    H = (H ^ (H >> 27)) * 0x94D049BB133111EBull;
+    H ^= H >> 31;
+    return H % NumEntities < PathologicalAiEntities ? PathologicalAiCostMult
+                                                    : 1;
+  }
 };
 
 /// Timing breakdown of one frame (simulated cycles).
@@ -144,8 +170,11 @@ public:
   /// chunks, one launch per core. World state is bit-identical to every
   /// other schedule, including under injected faults (a dying worker's
   /// mailbox drains back to the queue); FrameStats records the dispatch
-  /// and recovery work.
-  FrameStats doFrameOffloadAiResident(unsigned MaxAccelerators = ~0u);
+  /// and recovery work. \p FirstAccelerator shifts the worker pool to
+  /// the contiguous accelerator range starting there (the tenant
+  /// server's domain pinning); 0 is the historical whole-machine pool.
+  FrameStats doFrameOffloadAiResident(unsigned MaxAccelerators = ~0u,
+                                      unsigned FirstAccelerator = 0);
 
   /// The host-staged shard schedule: three sequential resident passes —
   /// AI, shard-confined collision, physics — each a distributeJobs

@@ -54,6 +54,12 @@ struct JobQueueOptions {
   /// Accelerator budget; the pool opens min(numAccelerators, MaxWorkers)
   /// resident workers.
   unsigned MaxWorkers = ~0u;
+  /// First accelerator the pool may use; workers open on the contiguous
+  /// range [FirstAccelerator, FirstAccelerator + MaxWorkers). The
+  /// domain-pinning knob: FirstAccelerator = D * AcceleratorsPerDomain
+  /// with MaxWorkers <= AcceleratorsPerDomain confines the whole run to
+  /// domain D. 0 (the default) is the historical whole-machine pool.
+  unsigned FirstAccelerator = 0;
   /// Guided self-scheduling: start with coarse chunks while the queue is
   /// long (cutting mailbox traffic) and shrink toward ChunkSize as it
   /// drains (keeping the tail balanced).
@@ -102,6 +108,9 @@ struct JobRunStats {
   uint64_t StealsAttempted = 0;
   /// Probes that found a victim and moved work.
   uint64_t StealsSucceeded = 0;
+  /// Successful steals that crossed a domain boundary (zero on flat
+  /// machines and whenever DomainAware found local victims).
+  uint64_t StealsRemoteDomain = 0;
   /// Chunks that migrated between workers through steals.
   uint64_t DescriptorsStolen = 0;
   /// Accelerator cycles spent probing and transferring steals.
@@ -140,7 +149,7 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   uint32_t ChunkSize = std::max(1u, Opts.ChunkSize);
   uint32_t TargetPerWorker = std::max(1u, Opts.TargetChunksPerWorker);
 
-  ResidentWorkerPool Pool(M, Opts.MaxWorkers);
+  ResidentWorkerPool Pool(M, Opts.MaxWorkers, Opts.FirstAccelerator);
 
   // Descriptors handed back by dying workers; re-dispatched before any
   // new chunk is carved so recovery preserves queue order.
@@ -158,11 +167,18 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
     // doorbell; imbalance is then corrected accelerator-side by steals.
     const unsigned Workers = Pool.liveCount();
     const uint32_t NumChunks = (Count + ChunkSize - 1) / ChunkSize;
-    const uint32_t PerWorker = NumChunks / Workers;
-    const uint32_t Remainder = NumChunks % Workers;
+    // Domain-first carving: each domain's chunk count is settled before
+    // the per-worker split inside it, so a region never has to straddle
+    // the interconnect to balance a remainder. On a flat machine (one
+    // domain) this is the historical flat arithmetic bit for bit.
+    std::vector<unsigned> WorkerDomains(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      WorkerDomains[W] = M.domainOf(Pool.accelId(W));
+    const std::vector<uint32_t> Shares =
+        DispatchPlan::domainShares(NumChunks, WorkerDomains);
     std::vector<sim::WorkDescriptor> Region;
     for (unsigned W = 0; W != Workers; ++W) {
-      uint32_t ChunksHere = PerWorker + (W < Remainder ? 1 : 0);
+      uint32_t ChunksHere = Shares[W];
       Region.clear();
       for (uint32_t C = 0; C != ChunksHere && !Plan.done(); ++C)
         Region.push_back(Plan.chunk(ChunkSize));
@@ -252,6 +268,7 @@ JobRunStats distributeJobs(sim::Machine &M, uint32_t Count,
   Stats.HostEscalations = PS.HostEscalations;
   Stats.StealsAttempted = PS.StealsAttempted;
   Stats.StealsSucceeded = PS.StealsSucceeded;
+  Stats.StealsRemoteDomain = PS.StealsRemoteDomain;
   Stats.DescriptorsStolen = PS.DescriptorsStolen;
   Stats.StealCycles = PS.StealCycles;
   return Stats;

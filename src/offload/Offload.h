@@ -452,6 +452,58 @@ public:
     return take(Next + Len, Home);
   }
 
+  /// Domain-first bulk placement: splits \p Total work units (chunks or
+  /// elements) across workers so that each *domain's* share is
+  /// proportional to its worker head-count before the per-worker split
+  /// happens inside the domain. \p Domains holds each worker's domain
+  /// in dispatch order (workers are opened in ascending accelerator-id
+  /// order, so a domain's members are contiguous). With a single domain
+  /// the result is exactly the historical flat
+  /// `Total/Workers + (W < Total%Workers)` arithmetic, bit for bit —
+  /// which is what keeps every committed flat-machine baseline
+  /// unchanged. With several domains the remainder is balanced across
+  /// domains instead of piling onto the low worker ids, so contiguous
+  /// ranges land whole inside one domain and steals can stay local.
+  static std::vector<uint32_t>
+  domainShares(uint32_t Total, const std::vector<unsigned> &Domains) {
+    const uint32_t Workers = static_cast<uint32_t>(Domains.size());
+    std::vector<uint32_t> Shares(Workers, 0);
+    if (Workers == 0)
+      return Shares;
+    const uint32_t PerWorker = Total / Workers;
+    const uint32_t Rem = Total % Workers;
+    // Group consecutive workers by domain (order of first appearance).
+    std::vector<std::pair<unsigned, uint32_t>> Groups;
+    for (unsigned D : Domains) {
+      if (Groups.empty() || Groups.back().first != D)
+        Groups.emplace_back(D, 0u);
+      ++Groups.back().second;
+    }
+    // Each domain gets floor(Rem * members / Workers) of the remainder;
+    // the floors leave at most #groups - 1 units, handed out one per
+    // domain from the front.
+    std::vector<uint32_t> Extra(Groups.size(), 0);
+    uint32_t Given = 0;
+    for (size_t G = 0; G != Groups.size(); ++G) {
+      Extra[G] = static_cast<uint32_t>(
+          static_cast<uint64_t>(Rem) * Groups[G].second / Workers);
+      Given += Extra[G];
+    }
+    for (size_t G = 0; Given < Rem; ++G, ++Given)
+      ++Extra[G];
+    // Flat split inside each domain.
+    uint32_t W = 0;
+    for (size_t G = 0; G != Groups.size(); ++G) {
+      uint32_t Members = Groups[G].second;
+      uint32_t Share = PerWorker * Members + Extra[G];
+      uint32_t Per = Share / Members;
+      uint32_t GroupRem = Share % Members;
+      for (uint32_t I = 0; I != Members; ++I, ++W)
+        Shares[W] = Per + (I < GroupRem ? 1 : 0);
+    }
+    return Shares;
+  }
+
   /// The continuation construction site: the child descriptor a
   /// completed \p Parent spawns as a parcel. Same [Begin, End) payload
   /// span; the child runs Parent.NextKernel and chains on to

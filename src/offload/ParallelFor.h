@@ -62,6 +62,9 @@ struct ParallelForStats {
   uint64_t StealsAttempted = 0;
   /// Probes that found a victim and moved work.
   uint64_t StealsSucceeded = 0;
+  /// Successful steals that crossed a domain boundary (zero on flat
+  /// machines and whenever DomainAware found local victims).
+  uint64_t StealsRemoteDomain = 0;
   /// Sub-slices that migrated between workers through steals.
   uint64_t DescriptorsStolen = 0;
   /// Accelerator cycles spent probing and transferring steals.
@@ -96,8 +99,17 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
     detail::runChunkOnHost(M, Body, 0, Count);
     return Stats;
   }
-  uint32_t PerWorker = Count / Workers;
-  uint32_t Remainder = Count % Workers;
+  // Domain-first static split: slice lengths are balanced across
+  // domains before the per-worker split inside each one (slice homes
+  // are the accelerator ids 0..Workers-1, so worker W's domain is
+  // domainOf(W) whether or not its launch succeeds — the boundaries
+  // must not depend on fault outcomes). Single-domain machines get the
+  // historical Count/Workers + remainder arithmetic bit for bit.
+  std::vector<unsigned> SliceDomains(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    SliceDomains[W] = M.domainOf(W);
+  const std::vector<uint32_t> SliceLens =
+      DispatchPlan::domainShares(Count, SliceDomains);
 
   ResidentWorkerPool Pool(M, Workers);
 
@@ -149,7 +161,7 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
   DispatchPlan Plan(Count);
   std::vector<sim::WorkDescriptor> Region;
   for (unsigned W = 0; W != Workers; ++W) {
-    uint32_t Len = PerWorker + (W < Remainder ? 1 : 0);
+    uint32_t Len = SliceLens[W];
     if (!Stealing) {
       Dispatch(Plan.slice(Len, /*Home=*/W));
       continue;
@@ -204,6 +216,7 @@ ParallelForStats parallelForRange(sim::Machine &M, uint32_t Count,
   Stats.Cancels = PS.Cancels;
   Stats.StealsAttempted = PS.StealsAttempted;
   Stats.StealsSucceeded = PS.StealsSucceeded;
+  Stats.StealsRemoteDomain = PS.StealsRemoteDomain;
   Stats.DescriptorsStolen = PS.DescriptorsStolen;
   Stats.StealCycles = PS.StealCycles;
   Stats.HostSlices += PS.HostEscalations;

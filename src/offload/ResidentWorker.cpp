@@ -16,18 +16,22 @@
 using namespace omm;
 using namespace omm::offload;
 
-ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
+ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers,
+                                       unsigned FirstAccel)
     : M(M), Faults(M.faults()), Steal(M.config().WorkStealing),
       StealRng(M.config().StealSeed),
       DeadlinesArmed(M.watchdog().armsChunks()) {
   const sim::MachineConfig &Cfg = M.config();
-  unsigned Budget = std::min(M.numAccelerators(), MaxWorkers);
+  unsigned NumAccels = M.numAccelerators();
+  unsigned Avail = FirstAccel < NumAccels ? NumAccels - FirstAccel : 0;
+  unsigned Budget = std::min(Avail, MaxWorkers);
   FrameStart = M.hostClock().now();
   FrameEnd = FrameStart;
   for (unsigned W = 0; W != Budget; ++W) {
+    unsigned A = FirstAccel + W;
     M.hostClock().advance(Cfg.HostLaunchCycles);
     uint64_t BlockId = M.takeBlockId();
-    if (OffloadStatus St = detail::classifyLaunch(M, W, BlockId);
+    if (OffloadStatus St = detail::classifyLaunch(M, A, BlockId);
         St != OffloadStatus::Ok) {
       // classifyLaunch already billed the fault; the pool just opens
       // one worker short. A core killed during launch still burned
@@ -35,22 +39,22 @@ ResidentWorkerPool::ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers)
       ++PS.FailedLaunches;
       if (PS.WorstLaunchStatus == OffloadStatus::Ok)
         PS.WorstLaunchStatus = St;
-      FrameEnd = std::max(FrameEnd, M.accel(W).FreeAt);
+      FrameEnd = std::max(FrameEnd, M.accel(A).FreeAt);
       continue;
     }
-    sim::Accelerator &Accel = M.accel(W);
+    sim::Accelerator &Accel = M.accel(A);
     Accel.Clock.mergeTo(std::max(Accel.FreeAt, M.hostClock().now()) +
                         Cfg.OffloadLaunchCycles);
     Worker Wk;
-    Wk.AccelId = W;
+    Wk.AccelId = A;
     Wk.BlockId = BlockId;
     Wk.StatIndex = static_cast<unsigned>(Live.size());
     Wk.Mark = Accel.Store.mark();
     Live.push_back(std::move(Wk));
     if (sim::DmaObserver *Obs = M.observer())
-      Obs->onBlockBegin(W, BlockId, Accel.Clock.now());
-    Live.back().Ctx = std::make_unique<OffloadContext>(M, W);
-    Live.back().Box = std::make_unique<sim::Mailbox>(M, W, BlockId);
+      Obs->onBlockBegin(A, BlockId, Accel.Clock.now());
+    Live.back().Ctx = std::make_unique<OffloadContext>(M, A);
+    Live.back().Box = std::make_unique<sim::Mailbox>(M, A, BlockId);
     ++PS.Launches;
   }
   PS.BusyCycles.assign(Live.size(), 0);
@@ -218,7 +222,7 @@ void ResidentWorkerPool::spawnContinuation(unsigned W,
   Live[Target].Box->pushParcel(Child, Wk.AccelId, Wk.BlockId);
   ++PS.ParcelsSpawned;
   PS.PeerDoorbellCycles +=
-      Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles;
+      Cfg.parcelSendCycles(Wk.AccelId, Live[Target].AccelId);
   ++PS.DescriptorsDispatched;
   unparkAll();
 }
@@ -226,30 +230,51 @@ void ResidentWorkerPool::spawnContinuation(unsigned W,
 unsigned ResidentWorkerPool::pickVictim(unsigned Thief,
                                         unsigned Rotation) const {
   const unsigned MinBacklog = std::max(2u, M.config().StealMinBacklog);
+  const unsigned RemoteMinBacklog =
+      std::max(MinBacklog, M.config().StealRemoteMinBacklog);
   const unsigned Count = static_cast<unsigned>(Live.size());
   const uint32_t ThiefEnd = Live[Thief].LastEnd;
+  const bool RangeBiased = Steal == sim::StealPolicy::LocalityAware ||
+                           Steal == sim::StealPolicy::DomainAware;
   unsigned Best = NoWorker;
+  unsigned BestFar = 0;
   uint64_t BestDist = 0;
   unsigned BestRot = 0;
   for (unsigned V = 0; V != Count; ++V) {
     if (V == Thief || Live[V].Box->size() < MinBacklog)
       continue;
+    // DomainAware is hierarchical: any qualifying same-domain victim
+    // beats every remote-domain one, so the thief escalates across the
+    // interconnect only when its own domain is dry — and then only for
+    // a backlog deep enough (StealRemoteMinBacklog) to amortize the
+    // fixed gather premium. On a flat machine every candidate is
+    // same-domain and both rules vanish.
+    unsigned Far = 0;
+    if (Steal == sim::StealPolicy::DomainAware &&
+        !M.sameDomain(Live[Thief].AccelId, Live[V].AccelId)) {
+      if (Live[V].Box->size() < RemoteMinBacklog)
+        continue;
+      Far = 1;
+    }
     // A thief that has executed nothing yet has no locality to exploit;
     // distance 0 for everyone degrades LocalityAware to pure rotation.
     uint64_t Dist = 0;
-    if (Steal == sim::StealPolicy::LocalityAware && ThiefEnd != UINT32_MAX) {
+    if (RangeBiased && ThiefEnd != UINT32_MAX) {
       uint32_t Tail = Live[V].Box->tailBegin();
       Dist = Tail > ThiefEnd ? Tail - ThiefEnd : ThiefEnd - Tail;
     }
-    // Rotation ranks are distinct per candidate, so the (distance,
+    // Rotation ranks are distinct per candidate, so the (far, distance,
     // rotation) key is already a total order; the id tie-break below is
     // belt and braces for readability.
     unsigned Rot = (V + Count - Rotation % Count) % Count;
-    if (Best == NoWorker || Dist < BestDist ||
-        (Dist == BestDist &&
-         (Rot < BestRot ||
-          (Rot == BestRot && Live[V].AccelId < Live[Best].AccelId)))) {
+    if (Best == NoWorker || Far < BestFar ||
+        (Far == BestFar &&
+         (Dist < BestDist ||
+          (Dist == BestDist &&
+           (Rot < BestRot ||
+            (Rot == BestRot && Live[V].AccelId < Live[Best].AccelId)))))) {
       Best = V;
+      BestFar = Far;
       BestDist = Dist;
       BestRot = Rot;
     }
@@ -301,8 +326,10 @@ unsigned ResidentWorkerPool::trySteal(unsigned W) {
     return 0;
   }
   ++PS.StealsSucceeded;
+  if (!M.sameDomain(Wk.AccelId, Live[V].AccelId))
+    ++PS.StealsRemoteDomain;
   PS.DescriptorsStolen += Stolen;
-  PS.StealCycles += Cfg.StealGrantCycles + Cfg.MailboxDescriptorCycles;
+  PS.StealCycles += Cfg.stealTransferCycles(Wk.AccelId, Live[V].AccelId);
   unparkAll();
   if (Engine)
     Engine->refreshFloor(W); // Probe + grant + transfer, all thief-side.
@@ -567,7 +594,7 @@ ResidentWorkerPool::StepPlan ResidentWorkerPool::beginEngineStep(unsigned W) {
     P.TargetBox->insertParcelPlaceholder(P.Child, P.ChildLanding);
     ++PS.ParcelsSpawned;
     PS.PeerDoorbellCycles +=
-        Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles;
+        Cfg.parcelSendCycles(Wk.AccelId, Live[Target].AccelId);
     ++PS.DescriptorsDispatched;
     unparkAll();
   }

@@ -91,6 +91,10 @@ struct ResidentPoolStats {
   /// Probes that found a victim and moved work (paid StealGrantCycles
   /// plus one list-fetch MailboxDescriptorCycles on top of the probe).
   uint64_t StealsSucceeded = 0;
+  /// Successful steals whose thief and victim sat in different domains
+  /// (each also paid InterDomainDescriptorDmaCycles on the gather).
+  /// Always zero on a flat machine.
+  uint64_t StealsRemoteDomain = 0;
   /// Descriptors that migrated between workers through steals.
   uint64_t DescriptorsStolen = 0;
   /// Accelerator cycles spent probing and transferring steals.
@@ -119,10 +123,16 @@ class ResidentWorkerPool {
 public:
   static constexpr unsigned NoWorker = ~0u;
 
-  /// Opens up to min(numAccelerators, MaxWorkers) resident workers.
-  /// Launches follow the classifyLaunch fault gate, so a pool can open
-  /// short-handed or empty; the caller handles host fallback.
-  ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers);
+  /// Opens up to min(numAccelerators - FirstAccel, MaxWorkers) resident
+  /// workers on the contiguous accelerator range starting at
+  /// \p FirstAccel (0 — the default — is the historical whole-machine
+  /// pool). A non-zero base is how a caller pins a region to one
+  /// domain's accelerators: FirstAccel = Domain * AcceleratorsPerDomain
+  /// with a budget of at most AcceleratorsPerDomain. Launches follow
+  /// the classifyLaunch fault gate, so a pool can open short-handed or
+  /// empty; the caller handles host fallback.
+  ResidentWorkerPool(sim::Machine &M, unsigned MaxWorkers,
+                     unsigned FirstAccel = 0);
 
   ResidentWorkerPool(const ResidentWorkerPool &) = delete;
   ResidentWorkerPool &operator=(const ResidentWorkerPool &) = delete;

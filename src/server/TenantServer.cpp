@@ -139,8 +139,20 @@ void TenantServer::serveRoundRobin(const std::vector<unsigned> &Admitted,
     if (Armed)
       M.watchdog().setChunkDeadline(T.Params.ChunkDeadlineCycles);
     PerfCounters Before = M.totalCounters();
+    // Domain pinning: a tenant with a valid HomeDomain runs its frame
+    // on that domain's accelerator range only, so its traffic stays off
+    // the interconnect. Unpinned tenants (and flat machines) keep the
+    // historical whole-machine pool.
+    unsigned Budget = Params.MaxAccelerators;
+    unsigned FirstAccel = 0;
+    const sim::MachineConfig &Cfg = M.config();
+    if (T.Params.HomeDomain != ~0u && Cfg.AcceleratorsPerDomain != 0 &&
+        T.Params.HomeDomain < M.numDomains()) {
+      FirstAccel = T.Params.HomeDomain * Cfg.AcceleratorsPerDomain;
+      Budget = std::min(Budget, Cfg.AcceleratorsPerDomain);
+    }
     game::FrameStats Frame =
-        T.World->doFrameOffloadAiResident(Params.MaxAccelerators);
+        T.World->doFrameOffloadAiResident(Budget, FirstAccel);
     if (Armed)
       M.watchdog().setChunkDeadline(BaseChunkDeadline);
     recordFrame(T, Frame, Before);

@@ -54,6 +54,15 @@ struct TenantParams {
   /// requires MachineConfig::WatchdogCheckCycles != 0 — the check grid
   /// is machine-wide and never moves per tenant.
   uint64_t ChunkDeadlineCycles = 0;
+  /// Pins this tenant's frames to one accelerator domain: its
+  /// RoundRobin dispatch opens workers only on that domain's
+  /// accelerators (budget capped at AcceleratorsPerDomain), so its DMA
+  /// and doorbell traffic never crosses the interconnect. ~0u (the
+  /// default) leaves the tenant unpinned; so does a flat machine
+  /// (AcceleratorsPerDomain == 0) or an out-of-range domain. Batched
+  /// mode ignores the pin — the shared dispatch is collective by
+  /// design.
+  unsigned HomeDomain = ~0u;
 };
 
 /// How serveTick schedules admitted tenants onto the machine.

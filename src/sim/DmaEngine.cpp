@@ -97,7 +97,10 @@ void DmaEngine::issue(DmaDir Dir, LocalAddr Local, GlobalAddr Global,
   uint64_t DataCycles = Config.DmaBytesPerCycle == 0
                             ? 0
                             : divideCeil(Size, Config.DmaBytesPerCycle);
-  uint64_t Complete = Start + Config.DmaLatencyCycles + DataCycles;
+  // Main memory lives in domain 0, so an engine on a remote-domain core
+  // pays the inter-domain hop on every transfer (zero on flat machines).
+  uint64_t Complete = Start + Config.DmaLatencyCycles +
+                      Config.interDomainDmaPremium(AccelId) + DataCycles;
   ChannelFreeAt = Start + DataCycles;
   if (Injector)
     Complete += injectTransferDelay(Now);
@@ -237,7 +240,10 @@ void DmaEngine::issueList(DmaDir Dir, const ListElement *Elements,
   uint64_t DataCycles = Config.DmaBytesPerCycle == 0
                             ? 0
                             : divideCeil(TotalBytes, Config.DmaBytesPerCycle);
-  uint64_t Complete = Start + Config.DmaLatencyCycles + DataCycles;
+  // As in issue(): one inter-domain hop covers the whole list, just
+  // like the single startup latency.
+  uint64_t Complete = Start + Config.DmaLatencyCycles +
+                      Config.interDomainDmaPremium(AccelId) + DataCycles;
   ChannelFreeAt = Start + DataCycles;
   if (Injector)
     Complete += injectTransferDelay(Now); // One command, one draw.

@@ -78,6 +78,19 @@ public:
   }
   Accelerator &accel(unsigned Id);
 
+  /// Domain (cluster/NUMA node) of accelerator \p Id; the host and main
+  /// memory are always in domain 0. On a flat machine
+  /// (AcceleratorsPerDomain == 0) every core is in domain 0.
+  unsigned domainOf(unsigned Id) const { return Cfg.domainOf(Id); }
+
+  /// Number of domains the machine's accelerators span (>= 1).
+  unsigned numDomains() const { return Cfg.numDomains(); }
+
+  /// \returns true when accelerators \p A and \p B share a domain.
+  bool sameDomain(unsigned A, unsigned B) const {
+    return Cfg.sameDomain(A, B);
+  }
+
   /// \returns how many accelerators are still alive.
   unsigned numAliveAccelerators() const;
 

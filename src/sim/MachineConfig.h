@@ -119,6 +119,13 @@ enum class StealPolicy : uint8_t {
   /// range-adjacent to the thief's last executed chunk, so stolen
   /// chunks keep software-cache locality.
   LocalityAware,
+  /// Hierarchical: same-domain victims are always preferred over
+  /// remote-domain ones (the thief escalates across the interconnect
+  /// only when its own domain is dry); within a tier the LocalityAware
+  /// range-adjacency bias applies. On a flat machine
+  /// (AcceleratorsPerDomain == 0) every victim is same-domain, so this
+  /// degenerates to LocalityAware exactly.
+  DomainAware,
 };
 
 /// Architectural parameters of the simulated heterogeneous machine.
@@ -238,6 +245,16 @@ struct MachineConfig {
   /// useful minimum and the default).
   unsigned StealMinBacklog = 2;
 
+  /// DomainAware only: a *remote-domain* victim must hold at least this
+  /// many pending descriptors — the gather pays the fixed
+  /// InterDomainDescriptorDmaCycles premium once however much it moves,
+  /// so escalating across the interconnect is only worth a deep
+  /// backlog. Clamped up to StealMinBacklog; same-domain victims and
+  /// the other policies never consult it. Irrelevant on a flat machine
+  /// (no victim is ever remote), which keeps DomainAware's flat-machine
+  /// degeneration to LocalityAware exact.
+  unsigned StealRemoteMinBacklog = 4;
+
   /// Seed of the deterministic victim-rotation stream. Independent of
   /// FaultInjectionConfig::Seed so fault schedules and steal schedules
   /// replay independently.
@@ -249,6 +266,32 @@ struct MachineConfig {
   /// Ignored — the split stays one slice per worker — when
   /// WorkStealing is None.
   unsigned StealSliceChunks = 4;
+
+  /// Accelerators per domain (cluster/NUMA node). 0 — the default —
+  /// keeps the flat machine: one interconnect, every accelerator in
+  /// domain 0 with the host and main memory, all inter-domain premiums
+  /// structurally unreachable, schedules bit-identical to the pre-domain
+  /// runtime. N > 0 groups accelerators [0,N) into domain 0, [N,2N)
+  /// into domain 1, and so on (the last domain may be short). The host
+  /// and main memory always live in domain 0, so a config whose single
+  /// domain holds every accelerator is also bit-identical to flat.
+  unsigned AcceleratorsPerDomain = 0;
+
+  /// Extra fixed latency on every DMA transfer that crosses a domain
+  /// boundary (an accelerator outside domain 0 reaching main memory):
+  /// the inter-domain hop of the interconnect.
+  uint64_t InterDomainDmaLatencyCycles = 0;
+
+  /// Extra cycles on a doorbell ring that crosses a domain boundary
+  /// (host -> remote-domain worker, or a parcel spawner ringing a peer
+  /// in another domain).
+  uint64_t InterDomainDoorbellCycles = 0;
+
+  /// Extra cycles on a descriptor-sized payload crossing a domain
+  /// boundary: a cross-domain parcel's store-to-store copy, or the
+  /// list-form gather of a steal whose thief and victim sit in
+  /// different domains.
+  uint64_t InterDomainDescriptorDmaCycles = 0;
 
   /// Spawner-side cycles to ring a *peer* worker's doorbell when
   /// spawning a continuation parcel (the uncached store into the peer's
@@ -296,6 +339,62 @@ struct MachineConfig {
     Config.DmaLatencyCycles = 0;
     Config.DmaBytesPerCycle = 64;
     return Config;
+  }
+
+  /// Domain of accelerator \p AccelId. Pure arithmetic over the config
+  /// so cost paths that hold no Machine reference (DmaEngine, Mailbox)
+  /// can evaluate it. The host and main memory are always in domain 0.
+  unsigned domainOf(unsigned AccelId) const {
+    return AcceleratorsPerDomain == 0 ? 0 : AccelId / AcceleratorsPerDomain;
+  }
+
+  /// Number of domains the configured accelerators span (>= 1).
+  unsigned numDomains() const {
+    if (AcceleratorsPerDomain == 0 || NumAccelerators == 0)
+      return 1;
+    return (NumAccelerators + AcceleratorsPerDomain - 1) /
+           AcceleratorsPerDomain;
+  }
+
+  /// \returns true when accelerators \p A and \p B share a domain.
+  bool sameDomain(unsigned A, unsigned B) const {
+    return domainOf(A) == domainOf(B);
+  }
+
+  /// Extra latency of one DMA transfer between accelerator \p AccelId
+  /// and main memory (which lives in domain 0). Zero on a flat machine.
+  uint64_t interDomainDmaPremium(unsigned AccelId) const {
+    return domainOf(AccelId) == 0 ? 0 : InterDomainDmaLatencyCycles;
+  }
+
+  /// Host-side cost of ringing accelerator \p AccelId's doorbell,
+  /// inter-domain premium included (the host is in domain 0).
+  uint64_t hostDoorbellCycles(unsigned AccelId) const {
+    return MailboxDoorbellCycles +
+           (domainOf(AccelId) == 0 ? 0 : InterDomainDoorbellCycles);
+  }
+
+  /// Spawner-side cost of delivering one continuation parcel from
+  /// \p Spawner to \p Recipient: peer doorbell plus the store-to-store
+  /// descriptor copy, each with its premium when the parcel crosses a
+  /// domain boundary. Mailbox::pushParcel (serial) and
+  /// Mailbox::chargeParcelSend (threaded) both charge exactly this, so
+  /// the two engines stay bit-identical by construction.
+  uint64_t parcelSendCycles(unsigned Spawner, unsigned Recipient) const {
+    uint64_t Cost = PeerDoorbellCycles + PeerDescriptorDmaCycles;
+    if (!sameDomain(Spawner, Recipient))
+      Cost += InterDomainDoorbellCycles + InterDomainDescriptorDmaCycles;
+    return Cost;
+  }
+
+  /// Thief-side cost of a granted steal from \p Victim: the claim
+  /// handshake plus the single list-form gather of the stolen tail,
+  /// which pays the descriptor premium when it crosses domains.
+  uint64_t stealTransferCycles(unsigned Thief, unsigned Victim) const {
+    uint64_t Cost = StealGrantCycles + MailboxDescriptorCycles;
+    if (!sameDomain(Thief, Victim))
+      Cost += InterDomainDescriptorDmaCycles;
+    return Cost;
   }
 
   /// \returns true if \p Size is a legal DMA transfer size.

@@ -25,8 +25,9 @@ bool Mailbox::push(const WorkDescriptor &Desc) {
   if (full())
     return false;
   const MachineConfig &Cfg = M.config();
-  M.hostClock().advance(Cfg.MailboxDoorbellCycles);
-  M.hostCounters().DoorbellCycles += Cfg.MailboxDoorbellCycles;
+  uint64_t Doorbell = Cfg.hostDoorbellCycles(AccelId);
+  M.hostClock().advance(Doorbell);
+  M.hostCounters().DoorbellCycles += Doorbell;
   ++M.accel(AccelId).Counters.DescriptorsDispatched;
   Slot S;
   S.Desc = Desc;
@@ -44,9 +45,11 @@ void Mailbox::pushBulk(const std::vector<WorkDescriptor> &Descs) {
   const MachineConfig &Cfg = M.config();
   LocalBacklog = true;
   // One doorbell covers the whole slice: the host writes a (base,
-  // count) pair and the worker gathers the descriptors itself.
-  M.hostClock().advance(Cfg.MailboxDoorbellCycles);
-  M.hostCounters().DoorbellCycles += Cfg.MailboxDoorbellCycles;
+  // count) pair and the worker gathers the descriptors itself. One
+  // inter-domain hop likewise covers the whole bulk.
+  uint64_t Doorbell = Cfg.hostDoorbellCycles(AccelId);
+  M.hostClock().advance(Doorbell);
+  M.hostCounters().DoorbellCycles += Doorbell;
   uint64_t ReadyAt = M.hostClock().now();
   for (const WorkDescriptor &Desc : Descs) {
     ++M.accel(AccelId).Counters.DescriptorsDispatched;
@@ -62,9 +65,10 @@ void Mailbox::pushParcel(const WorkDescriptor &Desc, unsigned SpawnerAccelId,
   const MachineConfig &Cfg = M.config();
   Accelerator &Spawner = M.accel(SpawnerAccelId);
   // Both halves of the transaction are spawner-side: the doorbell store
-  // into the peer's line and the descriptor's store-to-store copy. The
-  // recipient pays nothing until its own pop.
-  uint64_t Cost = Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles;
+  // into the peer's line and the descriptor's store-to-store copy (both
+  // with their inter-domain premium when the parcel crosses a domain
+  // boundary). The recipient pays nothing until its own pop.
+  uint64_t Cost = Cfg.parcelSendCycles(SpawnerAccelId, AccelId);
   Spawner.Clock.advance(Cost);
   Spawner.Counters.PeerDoorbellCycles += Cost;
   ++Spawner.Counters.ParcelsSpawned;
@@ -94,8 +98,9 @@ unsigned Mailbox::stealTailInto(Mailbox &Thief, unsigned MinBacklog) {
   // The claim is an atomic CAS on this queue's header followed by one
   // list-form gather of every claimed descriptor; both are thief-side
   // costs (the victim never notices until its next pop finds the
-  // shorter queue).
-  uint64_t Cost = Cfg.StealGrantCycles + Cfg.MailboxDescriptorCycles;
+  // shorter queue). A cross-domain gather pays the descriptor premium
+  // once for the whole list, like the fetch itself.
+  uint64_t Cost = Cfg.stealTransferCycles(Thief.AccelId, AccelId);
   ThiefAccel.Clock.advance(Cost);
   ThiefAccel.Counters.StealCycles += Cost;
   ++ThiefAccel.Counters.StealsSucceeded;
@@ -186,7 +191,9 @@ void Mailbox::chargeParcelSend(const WorkDescriptor &Desc,
                                ParcelLanding &Landing) {
   const MachineConfig &Cfg = M.config();
   Accelerator &Spawner = M.accel(SpawnerAccelId);
-  uint64_t Cost = Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles;
+  // Must charge exactly what pushParcel charges — the threaded engine's
+  // schedules are only bit-identical to serial if both halves agree.
+  uint64_t Cost = Cfg.parcelSendCycles(SpawnerAccelId, AccelId);
   Spawner.Clock.advance(Cost);
   Spawner.Counters.PeerDoorbellCycles += Cost;
   ++Spawner.Counters.ParcelsSpawned;

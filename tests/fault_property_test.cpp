@@ -233,7 +233,8 @@ TEST_P(FaultRecoveryProperty, StealingFramesMatchFaultFreeBitForBit) {
   // bit-identical to the fault-free, steal-free world.
   RunResult Reference = runResidentFrames(MachineConfig::cellLike());
   for (StealPolicy Policy :
-       {StealPolicy::Rotation, StealPolicy::LocalityAware}) {
+       {StealPolicy::Rotation, StealPolicy::LocalityAware,
+        StealPolicy::DomainAware}) {
     MachineConfig Clean = MachineConfig::cellLike();
     Clean.WorkStealing = Policy;
     MachineConfig Faulty = Clean;
@@ -295,6 +296,86 @@ TEST_P(FaultRecoveryProperty, ZeroedStealPolicyReproducesBaselineExactly) {
   EXPECT_EQ(Scrambled.HostCycles, Baseline.HostCycles);
   EXPECT_EQ(Scrambled.LaunchFaults, Baseline.LaunchFaults);
   EXPECT_EQ(Scrambled.AcceleratorsLost, Baseline.AcceleratorsLost);
+}
+
+namespace {
+
+/// A three-domain machine (cellLike's six cores in pairs) under
+/// DomainAware stealing, every inter-domain premium and the lazy
+/// remote-escalation threshold scrambled from \p Seed.
+MachineConfig domainFaultConfig(uint64_t Seed) {
+  SplitMix64 Rng(Seed ^ 0xD03A14);
+  MachineConfig Cfg = MachineConfig::cellLike();
+  Cfg.WorkStealing = StealPolicy::DomainAware;
+  Cfg.AcceleratorsPerDomain = 2;
+  Cfg.InterDomainDmaLatencyCycles = Rng.nextBelow(500);
+  Cfg.InterDomainDoorbellCycles = Rng.nextBelow(2000);
+  Cfg.InterDomainDescriptorDmaCycles = Rng.nextBelow(4000);
+  Cfg.StealRemoteMinBacklog = static_cast<unsigned>(Rng.nextBelow(12));
+  return Cfg;
+}
+
+} // namespace
+
+TEST_P(FaultRecoveryProperty, FlatDomainConfigsReproduceFlatSchedulesExactly) {
+  // AcceleratorsPerDomain == 0 with scrambled premiums, and a single
+  // domain holding every accelerator, are both the flat machine: cycle
+  // counts equal the premium-free baseline EXACTLY, whatever the steal
+  // policy — the premiums only bite on an edge that crosses domains,
+  // and these machines have no such edge.
+  SplitMix64 Rng(GetParam() ^ 0xF1A7D0);
+  for (StealPolicy Policy :
+       {StealPolicy::None, StealPolicy::LocalityAware,
+        StealPolicy::DomainAware}) {
+    MachineConfig Base = MachineConfig::cellLike();
+    Base.WorkStealing = Policy;
+    RunResult Baseline = runResidentFrames(Base);
+    MachineConfig Flat = Base;
+    Flat.AcceleratorsPerDomain = 0;
+    Flat.InterDomainDmaLatencyCycles = Rng.nextBelow(10000);
+    Flat.InterDomainDoorbellCycles = Rng.nextBelow(10000);
+    Flat.InterDomainDescriptorDmaCycles = Rng.nextBelow(10000);
+    Flat.StealRemoteMinBacklog = static_cast<unsigned>(Rng.nextBelow(32));
+    MachineConfig OneDomain = Flat;
+    OneDomain.AcceleratorsPerDomain = OneDomain.NumAccelerators;
+    for (const MachineConfig *Cfg : {&Flat, &OneDomain}) {
+      RunResult R = runResidentFrames(*Cfg);
+      EXPECT_EQ(R.Checksum, Baseline.Checksum)
+          << "seed " << GetParam() << " policy "
+          << static_cast<int>(Policy);
+      EXPECT_EQ(R.HostCycles, Baseline.HostCycles)
+          << "seed " << GetParam() << " policy "
+          << static_cast<int>(Policy);
+    }
+  }
+}
+
+TEST_P(FaultRecoveryProperty, DomainAwareFramesMatchFaultFreeBitForBit) {
+  // DomainAware stealing on a three-domain machine composes with every
+  // injected fault: random deaths, DMA rejections and scheduled
+  // mid-queue kills (dead victims are buried at probe time, live ones
+  // keyed local-first) — the computed world stays bit-identical to the
+  // flat fault-free reference.
+  RunResult Reference = runResidentFrames(MachineConfig::cellLike());
+  MachineConfig Clean = domainFaultConfig(GetParam());
+  MachineConfig Faulty = Clean;
+  Faulty.Faults = faultsFor(GetParam());
+  RunResult CleanRun = runResidentFrames(Clean);
+  RunResult FaultyRun = runResidentFrames(Faulty, GetParam());
+  EXPECT_EQ(CleanRun.Checksum, Reference.Checksum) << "seed " << GetParam();
+  EXPECT_EQ(FaultyRun.Checksum, Reference.Checksum)
+      << "seed " << GetParam();
+}
+
+TEST_P(FaultRecoveryProperty, DomainAwareScheduleReplaysCycleForCycle) {
+  MachineConfig Cfg = domainFaultConfig(GetParam());
+  Cfg.Faults = faultsFor(GetParam());
+  RunResult First = runResidentFrames(Cfg, GetParam());
+  RunResult Second = runResidentFrames(Cfg, GetParam());
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.HostCycles, Second.HostCycles);
+  EXPECT_EQ(First.LaunchFaults, Second.LaunchFaults);
+  EXPECT_EQ(First.AcceleratorsLost, Second.AcceleratorsLost);
 }
 
 namespace {

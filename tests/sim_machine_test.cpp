@@ -167,6 +167,66 @@ TEST(Machine, ObserverMulticast) {
   EXPECT_EQ(Second.Issues, 2u); // ...the rest keep observing.
 }
 
+TEST(MachineDomains, TopologyArithmetic) {
+  MachineConfig Cfg = MachineConfig::cellLike();
+  // Flat (the default): everything, host included, is domain 0.
+  EXPECT_EQ(Cfg.AcceleratorsPerDomain, 0u);
+  EXPECT_EQ(Cfg.numDomains(), 1u);
+  EXPECT_EQ(Cfg.domainOf(5), 0u);
+  EXPECT_TRUE(Cfg.sameDomain(0, 5));
+
+  Cfg.AcceleratorsPerDomain = 2; // Six cores in three pairs.
+  EXPECT_EQ(Cfg.numDomains(), 3u);
+  EXPECT_EQ(Cfg.domainOf(0), 0u);
+  EXPECT_EQ(Cfg.domainOf(1), 0u);
+  EXPECT_EQ(Cfg.domainOf(2), 1u);
+  EXPECT_EQ(Cfg.domainOf(5), 2u);
+  EXPECT_TRUE(Cfg.sameDomain(4, 5));
+  EXPECT_FALSE(Cfg.sameDomain(1, 2));
+
+  Cfg.AcceleratorsPerDomain = 4; // Ragged split: 4 + 2.
+  EXPECT_EQ(Cfg.numDomains(), 2u);
+  EXPECT_EQ(Cfg.domainOf(3), 0u);
+  EXPECT_EQ(Cfg.domainOf(4), 1u);
+
+  Machine M(Cfg); // The Machine forwards the same arithmetic.
+  EXPECT_EQ(M.numDomains(), 2u);
+  EXPECT_EQ(M.domainOf(5), 1u);
+  EXPECT_TRUE(M.sameDomain(4, 5));
+}
+
+TEST(MachineDomains, CostFormulasChargeThePremiumOnlyAcrossDomains) {
+  MachineConfig Cfg = MachineConfig::cellLike();
+  Cfg.AcceleratorsPerDomain = 2;
+  Cfg.InterDomainDmaLatencyCycles = 111;
+  Cfg.InterDomainDoorbellCycles = 222;
+  Cfg.InterDomainDescriptorDmaCycles = 333;
+
+  // Main memory and the host live in domain 0: accelerators there pay
+  // no premium; remote-domain accelerators pay it on every formula.
+  EXPECT_EQ(Cfg.interDomainDmaPremium(1), 0u);
+  EXPECT_EQ(Cfg.interDomainDmaPremium(2), 111u);
+  EXPECT_EQ(Cfg.hostDoorbellCycles(0), Cfg.MailboxDoorbellCycles);
+  EXPECT_EQ(Cfg.hostDoorbellCycles(3),
+            Cfg.MailboxDoorbellCycles + 222u);
+  EXPECT_EQ(Cfg.parcelSendCycles(0, 1),
+            Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles);
+  EXPECT_EQ(Cfg.parcelSendCycles(1, 2),
+            Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles +
+                222u + 333u);
+  EXPECT_EQ(Cfg.stealTransferCycles(4, 5),
+            Cfg.StealGrantCycles + Cfg.MailboxDescriptorCycles);
+  EXPECT_EQ(Cfg.stealTransferCycles(3, 4),
+            Cfg.StealGrantCycles + Cfg.MailboxDescriptorCycles + 333u);
+
+  // Flat config: the scrambled premiums are unreachable by definition.
+  Cfg.AcceleratorsPerDomain = 0;
+  EXPECT_EQ(Cfg.interDomainDmaPremium(5), 0u);
+  EXPECT_EQ(Cfg.hostDoorbellCycles(5), Cfg.MailboxDoorbellCycles);
+  EXPECT_EQ(Cfg.parcelSendCycles(0, 5),
+            Cfg.PeerDoorbellCycles + Cfg.PeerDescriptorDmaCycles);
+}
+
 TEST(MachineDeath, BadAcceleratorIdAborts) {
   Machine M;
   EXPECT_DEATH(M.accel(99), "accelerator id out of range");

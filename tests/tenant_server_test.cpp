@@ -325,6 +325,40 @@ TEST(TenantServerTest, QuarantineDemotesToHostOnlyAndProbationRestores) {
   EXPECT_EQ(Server.stats(0).FramesServed, 4u);
 }
 
+TEST(TenantServerTest, HomeDomainPinningConfinesWorkAndKeepsResults) {
+  // A tenant pinned to a home domain dispatches only to that domain's
+  // accelerators, with the budget clamped to the domain width — and the
+  // pin moves cycles, never results.
+  auto Serve = [](unsigned HomeDomain) {
+    MachineConfig Cfg = MachineConfig::cellLike();
+    Cfg.NumAccelerators = 8;
+    Cfg.AcceleratorsPerDomain = 4;
+    Machine M(Cfg);
+    TenantServer Server(M, TenantServerParams());
+    TenantParams P = testTenants()[0];
+    P.HomeDomain = HomeDomain;
+    Server.addTenant(P);
+    for (int T = 0; T != NumTicks; ++T)
+      Server.serveTick();
+    std::vector<uint64_t> Dispatched;
+    for (unsigned A = 0; A != M.numAccelerators(); ++A)
+      Dispatched.push_back(M.accel(A).Counters.DescriptorsDispatched);
+    return std::pair(Server.checksum(0), Dispatched);
+  };
+
+  auto [UnpinnedSum, UnpinnedDispatch] = Serve(~0u);
+  auto [PinnedSum, PinnedDispatch] = Serve(1);
+  EXPECT_EQ(PinnedSum, UnpinnedSum);
+  uint64_t AwayDispatch = 0, HomeDispatch = 0;
+  for (unsigned A = 0; A != 4; ++A) {
+    EXPECT_EQ(PinnedDispatch[A], 0u) << "accel " << A;
+    AwayDispatch += UnpinnedDispatch[A];
+    HomeDispatch += PinnedDispatch[A + 4];
+  }
+  EXPECT_GT(AwayDispatch, 0u); // Unpinned serving did use domain 0.
+  EXPECT_GT(HomeDispatch, 0u);
+}
+
 TEST(TenantServerTest, HeavyTailedPopulationIsDeterministicAndTailed) {
   auto A = makeHeavyTailedTenants(64, 0x7A11, 100);
   auto B = makeHeavyTailedTenants(64, 0x7A11, 100);

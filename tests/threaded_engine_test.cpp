@@ -293,6 +293,30 @@ std::vector<Case> bitIdentityCases() {
                      dataflowScenario(ParcelPolicy::LeastLoaded)});
   }
   {
+    // Hierarchical domains under DomainAware stealing: cross-domain
+    // doorbell/descriptor premiums, the per-DMA main-memory premium and
+    // the lazy remote-escalation threshold all ride the steal traffic,
+    // and the merged schedule must still be the serial one bit for bit.
+    MachineConfig Cfg;
+    Cfg.WorkStealing = StealPolicy::DomainAware;
+    Cfg.AcceleratorsPerDomain = 2;
+    Cfg.InterDomainDoorbellCycles = 900;
+    Cfg.InterDomainDescriptorDmaCycles = 2600;
+    Cfg.InterDomainDmaLatencyCycles = 70;
+    Cfg.StealRemoteMinBacklog = 3;
+    Cases.push_back({"steal-domains", Cfg, stealQueueScenario});
+  }
+  {
+    // Parcels crossing the interconnect: serial pushParcel and the
+    // threaded rendezvous must charge the same spawner-side premium.
+    MachineConfig Cfg;
+    Cfg.AcceleratorsPerDomain = 2;
+    Cfg.InterDomainDoorbellCycles = 900;
+    Cfg.InterDomainDescriptorDmaCycles = 2600;
+    Cases.push_back({"dataflow-domains", Cfg,
+                     dataflowScenario(ParcelPolicy::Ring)});
+  }
+  {
     MachineConfig Cfg;
     Cfg.WorkStealing = StealPolicy::LocalityAware;
     Cfg.Faults.Enabled = true;
